@@ -1,0 +1,20 @@
+"""Fig. 1 — the sample risk-analysis plot of eight policies, five scenarios."""
+
+from repro.experiments.figures import figure_1
+from repro.experiments.report import summarize_plot
+from repro.experiments.sampledata import TABLE_II_PUBLISHED
+
+
+def test_figure_1(benchmark, save_exhibit, save_gnuplot):
+    plot = benchmark(figure_1)
+    # The reconstructed sample reproduces every published Table II statistic.
+    for policy, (max_p, min_p, max_v, min_v) in TABLE_II_PUBLISHED.items():
+        series = plot.series[policy]
+        assert abs(series.max_performance - max_p) < 1e-9
+        assert abs(series.min_performance - min_p) < 1e-9
+        assert abs(series.max_volatility - max_v) < 1e-9
+        assert abs(series.min_volatility - min_v) < 1e-9
+    exhibit = summarize_plot(plot, include_ascii=True)
+    save_exhibit("fig1_sample_plot", exhibit)
+    save_gnuplot(plot, "fig1")
+    print("\n" + exhibit)

@@ -1,0 +1,27 @@
+"""Fig. 2 — impact of the penalty function on utility (bid-based model)."""
+
+from repro.experiments.figures import figure_2
+
+
+def render(data: dict) -> str:
+    lines = ["Fig. 2 — utility vs completion time (linear unbounded penalty)"]
+    budget, t_dead = data["budget"], data["deadline_time"]
+    lines.append(f"budget={budget:.0f}  deadline at t={t_dead:.0f}s")
+    n = len(data["time"])
+    for i in range(0, n, max(n // 12, 1)):
+        t, u = data["time"][i], data["utility"][i]
+        mark = " <- deadline" if abs(t - t_dead) < (data["time"][1] - data["time"][0]) else ""
+        lines.append(f"  t={t:9.0f}s  utility={u:9.2f}{mark}")
+    return "\n".join(lines)
+
+
+def test_figure_2(benchmark, save_exhibit):
+    data = benchmark(figure_2)
+    utilities = data["utility"]
+    # Flat at full budget before the deadline, unbounded decline after.
+    assert utilities[0] == data["budget"]
+    assert utilities[-1] < 0.0
+    assert utilities == sorted(utilities, reverse=True)
+    exhibit = render(data)
+    save_exhibit("fig2_penalty_function", exhibit)
+    print("\n" + exhibit)

@@ -1,0 +1,34 @@
+"""Fig. 3 — commodity market model: separate risk analysis of one objective
+(wait / SLA / reliability / profitability × Set A / Set B)."""
+
+from conftest import one_shot
+
+from repro.experiments.figures import figure_3
+from repro.experiments.report import summarize_figure
+
+
+def test_figure_3(benchmark, base_config, commodity_grids, save_exhibit, save_gnuplot):
+    panels = one_shot(benchmark, figure_3, base_config, grids=commodity_grids)
+    assert set(panels) == set("abcdefgh")
+
+    # §6.1: Libra and Libra+$ examine jobs at submission — ideal wait in
+    # both estimate sets.
+    for panel in ("a", "b"):
+        assert panels[panel].series["Libra"].is_ideal()
+        assert panels[panel].series["Libra+$"].is_ideal()
+        assert not panels[panel].series["EDF-BF"].is_ideal()
+
+    # §6.1: generous admission control gives the backfillers ideal
+    # reliability when estimates are accurate (Set A).
+    for policy in ("FCFS-BF", "SJF-BF", "EDF-BF"):
+        assert panels["e"].series[policy].is_ideal()
+
+    # §6.1: Libra+$'s enhanced pricing earns the best profitability.
+    dollar_best = panels["g"].series["Libra+$"].max_performance
+    for policy in ("FCFS-BF", "SJF-BF", "EDF-BF", "Libra"):
+        assert dollar_best >= panels["g"].series[policy].max_performance
+
+    exhibit = summarize_figure(panels, include_ascii=True)
+    save_exhibit("fig3_commodity_separate", exhibit)
+    save_gnuplot(panels, "fig3")
+    print("\n" + exhibit)

@@ -1,0 +1,36 @@
+"""Fig. 4 — commodity market model: integrated risk analysis of three
+objectives (every leave-one-out combination × Set A / Set B)."""
+
+from conftest import one_shot
+
+from repro.experiments.figures import figure_4
+from repro.experiments.report import summarize_figure
+
+
+def test_figure_4(benchmark, base_config, commodity_grids, save_exhibit, save_gnuplot):
+    panels = one_shot(benchmark, figure_4, base_config, grids=commodity_grids)
+    assert set(panels) == set("abcdefgh")
+
+    # All combined statistics are valid convex combinations.
+    for plot in panels.values():
+        for series in plot.series.values():
+            assert 0.0 <= series.min_performance <= series.max_performance <= 1.0
+            assert series.min_volatility >= 0.0
+
+    # §6.1: for combinations *including* profitability (panels a, c, e),
+    # Libra+$ outperforms Libra (its pricing gains dominate).
+    assert (
+        panels["e"].series["Libra+$"].max_performance
+        >= panels["e"].series["Libra"].max_performance - 0.05
+    )
+    # ...and for the combination *without* profitability (panel g), Libra's
+    # higher acceptance wins.
+    assert (
+        panels["g"].series["Libra"].max_performance
+        >= panels["g"].series["Libra+$"].max_performance
+    )
+
+    exhibit = summarize_figure(panels)
+    save_exhibit("fig4_commodity_three_objectives", exhibit)
+    save_gnuplot(panels, "fig4")
+    print("\n" + exhibit)

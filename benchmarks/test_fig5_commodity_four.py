@@ -1,0 +1,35 @@
+"""Fig. 5 — commodity market model: integrated risk analysis of all four
+objectives (Set A / Set B)."""
+
+from conftest import one_shot
+
+from repro.core.ranking import rank_policies
+from repro.experiments.figures import figure_5
+from repro.experiments.report import summarize_figure
+
+
+def test_figure_5(benchmark, base_config, commodity_grids, save_exhibit, save_gnuplot):
+    panels = one_shot(benchmark, figure_5, base_config, grids=commodity_grids)
+    assert set(panels) == {"a", "b"}
+
+    # §6.1 / §7: with accurate estimates (Set A) the Libra family leads the
+    # overall four-objective achievement.
+    ranked_a = [r.policy for r in rank_policies(panels["a"], by="performance")]
+    assert ranked_a[0] in ("Libra", "Libra+$")
+
+    # §6.1: inaccuracy (Set B) drags the Libra family down relative to the
+    # queue-based backfillers.
+    libra_drop = (
+        panels["a"].series["Libra"].max_performance
+        - panels["b"].series["Libra"].max_performance
+    )
+    sjf_drop = (
+        panels["a"].series["SJF-BF"].max_performance
+        - panels["b"].series["SJF-BF"].max_performance
+    )
+    assert libra_drop >= sjf_drop - 0.05
+
+    exhibit = summarize_figure(panels, include_ascii=True)
+    save_exhibit("fig5_commodity_four_objectives", exhibit)
+    save_gnuplot(panels, "fig5")
+    print("\n" + exhibit)

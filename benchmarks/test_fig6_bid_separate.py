@@ -1,0 +1,30 @@
+"""Fig. 6 — bid-based model: separate risk analysis of one objective."""
+
+from conftest import one_shot
+
+from repro.experiments.figures import figure_6
+from repro.experiments.report import summarize_figure
+
+
+def test_figure_6(benchmark, base_config, bid_grids, save_exhibit, save_gnuplot):
+    panels = one_shot(benchmark, figure_6, base_config, grids=bid_grids)
+    assert set(panels) == set("abcdefgh")
+
+    # §6.2: Libra and LibraRiskD examine jobs at submission — ideal wait.
+    for panel in ("a", "b"):
+        assert panels[panel].series["Libra"].is_ideal()
+        assert panels[panel].series["LibraRiskD"].is_ideal()
+
+    # §6.2: FirstReward's risk aversion gives it the worst SLA performance.
+    fr_sla = panels["c"].series["FirstReward"].max_performance
+    for policy in ("FCFS-BF", "EDF-BF", "Libra", "LibraRiskD"):
+        assert fr_sla <= panels["c"].series[policy].max_performance
+
+    # §6.2: FCFS-BF and EDF-BF keep ideal reliability in Set A.
+    for policy in ("FCFS-BF", "EDF-BF"):
+        assert panels["e"].series[policy].is_ideal()
+
+    exhibit = summarize_figure(panels, include_ascii=True)
+    save_exhibit("fig6_bid_separate", exhibit)
+    save_gnuplot(panels, "fig6")
+    print("\n" + exhibit)

@@ -1,0 +1,26 @@
+"""Fig. 7 — bid-based model: integrated risk analysis of three objectives."""
+
+from conftest import one_shot
+
+from repro.experiments.figures import figure_7
+from repro.experiments.report import summarize_figure
+
+
+def test_figure_7(benchmark, base_config, bid_grids, save_exhibit, save_gnuplot):
+    panels = one_shot(benchmark, figure_7, base_config, grids=bid_grids)
+    assert set(panels) == set("abcdefgh")
+
+    # §6.2: FirstReward has the worst combined performance in every
+    # three-objective combination (it loses on wait and SLA).
+    for panel in "abcdefgh":
+        fr = panels[panel].series["FirstReward"].max_performance
+        others_best = max(
+            panels[panel].series[p].max_performance
+            for p in ("FCFS-BF", "EDF-BF", "Libra", "LibraRiskD")
+        )
+        assert fr <= others_best
+
+    exhibit = summarize_figure(panels)
+    save_exhibit("fig7_bid_three_objectives", exhibit)
+    save_gnuplot(panels, "fig7")
+    print("\n" + exhibit)

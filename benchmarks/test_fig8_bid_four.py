@@ -1,0 +1,27 @@
+"""Fig. 8 — bid-based model: integrated risk analysis of all four objectives."""
+
+from conftest import one_shot
+
+from repro.core.ranking import rank_policies
+from repro.experiments.figures import figure_8
+from repro.experiments.report import summarize_figure
+
+
+def test_figure_8(benchmark, base_config, bid_grids, save_exhibit, save_gnuplot):
+    panels = one_shot(benchmark, figure_8, base_config, grids=bid_grids)
+    assert set(panels) == {"a", "b"}
+
+    # §7 headline: LibraRiskD is the best bid-based policy under trace
+    # estimates (Set B) — it manages the risk of inaccurate estimates.
+    riskd_b = panels["b"].series["LibraRiskD"].max_performance
+    libra_b = panels["b"].series["Libra"].max_performance
+    assert riskd_b >= libra_b
+
+    # With accurate estimates (Set A), Libra and LibraRiskD lead together.
+    ranked_a = [r.policy for r in rank_policies(panels["a"], by="performance")]
+    assert ranked_a[0] in ("Libra", "LibraRiskD")
+
+    exhibit = summarize_figure(panels, include_ascii=True)
+    save_exhibit("fig8_bid_four_objectives", exhibit)
+    save_gnuplot(panels, "fig8")
+    print("\n" + exhibit)

@@ -1,0 +1,50 @@
+"""Extension bench — efficient-frontier view of the headline comparison.
+
+Applies the financial-risk framing the paper borrows: which policies are
+Pareto-efficient in (performance, volatility), and what is their
+risk-adjusted score, for the four-objective integrated analysis in both
+markets (Set B — the realistic estimate regime).
+"""
+
+from conftest import one_shot
+
+from repro.core.frontier import frontier_report, plot_points
+from repro.core.objectives import OBJECTIVES
+from repro.experiments.report import format_table
+
+
+def rows_for(grid):
+    plot = grid.integrated_plot(OBJECTIVES)
+    report = frontier_report(plot_points(plot, "mean"))
+    return [
+        {
+            "policy": e.policy,
+            "mean_performance": e.performance,
+            "mean_volatility": e.volatility,
+            "on_frontier": e.on_frontier,
+            "risk_adjusted": e.risk_adjusted,
+        }
+        for e in report
+    ]
+
+
+def test_frontier_both_markets(benchmark, commodity_grids, bid_grids, save_exhibit):
+    def analyse():
+        return {
+            "commodity": rows_for(commodity_grids["B"]),
+            "bid": rows_for(bid_grids["B"]),
+        }
+
+    results = one_shot(benchmark, analyse)
+    for market, rows in results.items():
+        assert any(r["on_frontier"] for r in rows)
+        # The top risk-adjusted policy must be on the frontier.
+        assert rows[0]["on_frontier"]
+
+    exhibit = "\n\n".join(
+        format_table(rows, title=f"Efficient frontier — {market} model, Set B "
+                                 "(four-objective integrated analysis)")
+        for market, rows in results.items()
+    )
+    save_exhibit("frontier_analysis", exhibit)
+    print("\n" + exhibit)

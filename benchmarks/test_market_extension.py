@@ -1,0 +1,65 @@
+"""Extension bench — the §3 free-market dynamic, quantified.
+
+Not a paper exhibit: the paper *argues* that ignoring user-centric
+objectives costs a provider its users; this bench simulates the market the
+argument describes and reports market share, loyalty, and revenue for a
+serving provider vs a user-hostile one.
+"""
+
+from dataclasses import replace
+
+from conftest import one_shot
+
+from repro.experiments.report import format_table
+from repro.market.marketplace import Marketplace, ProviderSpec
+from repro.workload.qos import QoSSpec, assign_qos
+from repro.workload.synthetic import SDSC_SP2, generate_trace
+
+
+def market_workload(n, seed=11):
+    model = replace(SDSC_SP2, n_jobs=n, max_procs=64)
+    jobs = generate_trace(model, rng=seed)
+    assign_qos(jobs, QoSSpec(), rng=seed)
+    for job in jobs:
+        job.submit_time *= 0.25
+    return jobs
+
+
+def test_market_competition(benchmark, base_config, save_exhibit):
+    def simulate():
+        market = Marketplace(
+            [
+                ProviderSpec("reliable", "FCFS-BF", total_procs=64),
+                ProviderSpec("responsive", "LibraRiskD", total_procs=64),
+                ProviderSpec(
+                    "hostile", "FirstReward", total_procs=64,
+                    policy_kwargs={"slack_threshold": 1e12},
+                ),
+            ],
+            n_users=16,
+            seed=11,
+        )
+        market.run(market_workload(max(base_config.n_jobs, 150)))
+        return market
+
+    market = one_shot(benchmark, simulate)
+    rows = market.summary_rows()
+    by_name = {r["provider"]: r for r in rows}
+
+    # §3: the all-rejecting provider ends with a marginal final share and
+    # essentially no loyal users or revenue.
+    assert by_name["hostile"]["final_share"] < min(
+        by_name["reliable"]["final_share"], by_name["responsive"]["final_share"]
+    )
+    assert by_name["hostile"]["loyal_users"] <= 1
+    assert by_name["hostile"]["revenue"] <= 0.0
+
+    exhibit = format_table(
+        rows,
+        title=(
+            "Market extension — competing providers (paper §3: ignoring "
+            "user-centric objectives loses users, reputation and revenue)"
+        ),
+    )
+    save_exhibit("market_competition", exhibit)
+    print("\n" + exhibit)

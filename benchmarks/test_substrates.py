@@ -1,0 +1,91 @@
+"""Throughput benchmarks of the substrates (engine, clusters, policies).
+
+Unlike the exhibit benchmarks these run multiple rounds, giving stable
+numbers for performance tracking of the hot paths.
+"""
+
+from repro.cluster.timeshared import TimeSharedCluster
+from repro.economy.models import make_model
+from repro.policies import make_policy
+from repro.service.provider import CommercialComputingService
+from repro.sim import Simulator
+from repro.workload.estimates import apply_inaccuracy
+from repro.workload.job import Job
+from repro.workload.qos import QoSSpec, assign_qos
+from repro.workload.synthetic import SDSC_SP2, generate_trace
+
+
+def test_engine_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(float(i % 97), lambda: None)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_workload_generation(benchmark):
+    jobs = benchmark(generate_trace, SDSC_SP2.scaled(2000), 7)
+    assert len(jobs) == 2000
+
+
+def test_qos_synthesis(benchmark):
+    jobs = generate_trace(SDSC_SP2.scaled(2000), rng=7)
+
+    def synthesize():
+        return assign_qos([j.clone() for j in jobs], QoSSpec(), rng=7)
+
+    assert len(benchmark(synthesize)) == 2000
+
+
+def _workload(n=400):
+    jobs = generate_trace(SDSC_SP2.scaled(n), rng=3)
+    assign_qos(jobs, QoSSpec(), rng=3)
+    apply_inaccuracy(jobs, 100.0)
+    return jobs
+
+
+def _run_policy(policy_name, model_name, jobs):
+    service = CommercialComputingService(
+        make_policy(policy_name), make_model(model_name), total_procs=128
+    )
+    return service.run([j.clone() for j in jobs])
+
+
+def test_backfill_scheduler_throughput(benchmark):
+    jobs = _workload()
+    result = benchmark(_run_policy, "FCFS-BF", "bid", jobs)
+    assert len(result.outcomes) == len(jobs)
+
+
+def test_timeshared_scheduler_throughput(benchmark):
+    jobs = _workload()
+    result = benchmark(_run_policy, "Libra", "bid", jobs)
+    assert len(result.outcomes) == len(jobs)
+
+
+def test_riskd_scheduler_throughput(benchmark):
+    jobs = _workload()
+    result = benchmark(_run_policy, "LibraRiskD", "bid", jobs)
+    assert len(result.outcomes) == len(jobs)
+
+
+def test_timeshared_admission_throughput(benchmark):
+    """Best-fit node selection across a loaded 128-node machine."""
+
+    def admissions():
+        sim = Simulator()
+        cluster = TimeSharedCluster(sim, total_procs=128)
+        admitted = 0
+        for i in range(1, 400):
+            job = Job(job_id=i, submit_time=0.0, runtime=100.0, estimate=100.0,
+                      procs=4, deadline=500.0)
+            nodes = cluster.feasible_nodes(0.2)
+            if len(nodes) >= 4:
+                cluster.admit(job, 0.2, nodes[:4], lambda j, t: None)
+                admitted += 1
+        return admitted
+
+    assert benchmark(admissions) > 100

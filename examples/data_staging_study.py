@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Data staging: how the network reshapes the user-centric objectives.
+
+The paper's platform (GridSim) models differentiated network service but
+the paper runs with instantaneous submission.  This example puts a shared
+ingress link in front of the provider: every job stages its input data
+before the policy examines it, so transfer time consumes deadline slack and
+inflates the wait objective.  Sweeping the link bandwidth shows when the
+network — not the scheduler — becomes the SLA bottleneck.
+
+Run:  python examples/data_staging_study.py
+"""
+
+from repro.economy.models import make_model
+from repro.network.link import SharedLink
+from repro.network.staging import DataStagingFrontEnd, assign_input_sizes
+from repro.policies import make_policy
+from repro.service.provider import CommercialComputingService
+from repro.workload.estimates import apply_inaccuracy
+from repro.workload.qos import QoSSpec, assign_qos
+from repro.workload.synthetic import SDSC_SP2, generate_trace
+
+
+def build_jobs(seed=31):
+    jobs = generate_trace(SDSC_SP2.scaled(250), rng=seed)
+    assign_qos(jobs, QoSSpec(pct_high_urgency=20.0), rng=seed)
+    apply_inaccuracy(jobs, 0.0)
+    assign_input_sizes(jobs, rng=seed, mean_mb_per_proc=200.0)
+    return jobs
+
+
+def run_with_bandwidth(bandwidth_mbps):
+    jobs = build_jobs()
+    service = CommercialComputingService(
+        make_policy("EDF-BF"), make_model("bid"), total_procs=128
+    )
+    link = SharedLink(service.sim, bandwidth_mbps=bandwidth_mbps)
+    front = DataStagingFrontEnd(service, link)
+    result = front.run(jobs)
+    return result.objectives(), front.mean_staging_delay()
+
+
+def main() -> None:
+    print("EDF-BF behind a shared ingress link (250 jobs, ~200 MB/CPU inputs)\n")
+    header = (f"{'bandwidth MB/s':>14s} {'mean staging s':>15s} {'wait s':>10s} "
+              f"{'SLA %':>7s} {'reliability %':>14s} {'profit %':>9s}")
+    print(header)
+    print("-" * len(header))
+    for bandwidth in (10_000.0, 1_000.0, 100.0, 25.0, 10.0):
+        objs, staging = run_with_bandwidth(bandwidth)
+        print(f"{bandwidth:14.0f} {staging:15.1f} {objs.wait:10.1f} "
+              f"{objs.sla:7.1f} {objs.reliability:14.2f} {objs.profitability:9.2f}")
+    print("\nas bandwidth shrinks, staging eats the deadline slack: the wait "
+          "objective grows and the admission control starts rejecting jobs "
+          "whose windows the transfer already consumed — an SLA loss no "
+          "scheduling policy can recover.")
+
+
+if __name__ == "__main__":
+    main()

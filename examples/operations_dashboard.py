@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Operations dashboard: monitoring a live provider (paper §3.3).
+
+The paper assumes the provider "has monitoring mechanisms to check the
+progress of existing job executions".  This example attaches a
+:class:`~repro.service.monitoring.ServiceMonitor` to a provider under heavy
+load and renders the operational picture: utilisation and queue-length
+timelines, acceptance ratio, and cumulative utility.
+
+Run:  python examples/operations_dashboard.py
+"""
+
+from repro.economy.models import make_model
+from repro.policies import make_policy
+from repro.service.monitoring import ServiceMonitor
+from repro.service.provider import CommercialComputingService
+from repro.workload.estimates import apply_inaccuracy
+from repro.workload.qos import QoSSpec, assign_qos
+from repro.workload.synthetic import SDSC_SP2, generate_trace
+
+SPARK = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width=64) -> str:
+    """Compress a series into a fixed-width unicode sparkline."""
+    if len(values) == 0:
+        return ""
+    step = max(len(values) // width, 1)
+    buckets = [max(values[i:i + step]) for i in range(0, len(values), step)]
+    top = max(max(buckets), 1e-9)
+    return "".join(SPARK[min(int(v / top * (len(SPARK) - 1)), len(SPARK) - 1)]
+                   for v in buckets)
+
+
+def main() -> None:
+    jobs = generate_trace(SDSC_SP2.scaled(400), rng=13)
+    assign_qos(jobs, QoSSpec(pct_high_urgency=20.0), rng=13)
+    apply_inaccuracy(jobs, 100.0)
+    for job in jobs:
+        job.submit_time *= 0.25  # heavy load
+
+    for policy_name in ("FCFS-BF", "LibraRiskD"):
+        service = CommercialComputingService(
+            make_policy(policy_name), make_model("bid"), total_procs=128
+        )
+        monitor = ServiceMonitor(service, cadence=20_000.0)
+        result = service.run([j.clone() for j in jobs])
+
+        print(f"\n=== {policy_name} ===")
+        utils = monitor.series.values("utilization")
+        queue = monitor.series.values("queue_length")
+        print(f"utilization  |{sparkline(utils)}|  "
+              f"mean={monitor.series.time_weighted_mean('utilization'):.1%} "
+              f"peak={monitor.series.peak('utilization'):.1%}")
+        print(f"queue length |{sparkline(queue)}|  "
+              f"peak={int(monitor.series.peak('queue_length'))}")
+        report = monitor.report()
+        objs = result.objectives()
+        print(f"acceptance ratio {report['final_acceptance_ratio']:.1%}  "
+              f"fulfilled {sum(o.sla_fulfilled for o in result.outcomes)}"
+              f"/{len(result.outcomes)}  utility {report['final_utility']:,.0f}")
+        print(f"objectives: wait={objs.wait:.0f}s SLA={objs.sla:.1f}% "
+              f"reliability={objs.reliability:.1f}% profitability={objs.profitability:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

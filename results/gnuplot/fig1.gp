@@ -1,0 +1,25 @@
+set terminal pngcairo size 640,480
+set output 'fig1.png'
+set title 'Sample risk analysis plot of policies (Fig. 1)'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig1.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'A', \
+    'fig1.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'B', \
+    0.000000*x + 0.900000 with lines dt 2 lc 2 notitle, \
+    'fig1.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'C', \
+    -0.728323*x + 0.931225 with lines dt 2 lc 3 notitle, \
+    'fig1.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'D', \
+    -0.714286*x + 0.914286 with lines dt 2 lc 4 notitle, \
+    'fig1.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'E', \
+    -1.000000*x + 0.800000 with lines dt 2 lc 5 notitle, \
+    'fig1.dat' index 5 using 1:2 with points pt 3 ps 1.4 title 'F', \
+    1.250000*x + -0.175000 with lines dt 2 lc 6 notitle, \
+    'fig1.dat' index 6 using 1:2 with points pt 1 ps 1.4 title 'G', \
+    0.428571*x + 0.271429 with lines dt 2 lc 7 notitle, \
+    'fig1.dat' index 7 using 1:2 with points pt 2 ps 1.4 title 'H', \
+    0.714286*x + -0.014286 with lines dt 2 lc 8 notitle

@@ -1,0 +1,18 @@
+set terminal pngcairo size 640,480
+set output 'fig3a.png'
+set title 'Fig. 3a — Set A: wait'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig3a.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.851781*x + 0.098129 with lines dt 2 lc 1 notitle, \
+    'fig3a.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    0.534073*x + 0.667709 with lines dt 2 lc 2 notitle, \
+    'fig3a.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    0.883587*x + 0.345867 with lines dt 2 lc 3 notitle, \
+    'fig3a.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    'fig3a.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$'

@@ -1,0 +1,18 @@
+set terminal pngcairo size 640,480
+set output 'fig3b.png'
+set title 'Fig. 3b — Set B: wait'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig3b.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    1.549567*x + -0.014156 with lines dt 2 lc 1 notitle, \
+    'fig3b.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    0.445352*x + 0.464876 with lines dt 2 lc 2 notitle, \
+    'fig3b.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    0.990020*x + 0.291759 with lines dt 2 lc 3 notitle, \
+    'fig3b.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    'fig3b.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$'

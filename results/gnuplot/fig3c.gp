@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig3c.png'
+set title 'Fig. 3c — Set A: SLA'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig3c.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.559751*x + 0.802821 with lines dt 2 lc 1 notitle, \
+    'fig3c.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    -0.977300*x + 0.961409 with lines dt 2 lc 2 notitle, \
+    'fig3c.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    -1.095760*x + 0.971133 with lines dt 2 lc 3 notitle, \
+    'fig3c.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    -1.345774*x + 0.978445 with lines dt 2 lc 4 notitle, \
+    'fig3c.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    -0.323869*x + 0.724713 with lines dt 2 lc 5 notitle

@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig3d.png'
+set title 'Fig. 3d — Set B: SLA'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig3d.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    -0.545519*x + 0.814814 with lines dt 2 lc 1 notitle, \
+    'fig3d.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    -0.407502*x + 0.819040 with lines dt 2 lc 2 notitle, \
+    'fig3d.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    -0.423423*x + 0.826807 with lines dt 2 lc 3 notitle, \
+    'fig3d.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    -0.156260*x + 0.734021 with lines dt 2 lc 4 notitle, \
+    'fig3d.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    0.579598*x + 0.408448 with lines dt 2 lc 5 notitle

@@ -1,0 +1,17 @@
+set terminal pngcairo size 640,480
+set output 'fig3e.png'
+set title 'Fig. 3e — Set A: reliability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig3e.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    'fig3e.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    'fig3e.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    'fig3e.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    -1.986850*x + 1.000000 with lines dt 2 lc 4 notitle, \
+    'fig3e.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    -1.423954*x + 1.000000 with lines dt 2 lc 5 notitle

@@ -1,0 +1,17 @@
+set terminal pngcairo size 640,480
+set output 'fig3f.png'
+set title 'Fig. 3f — Set B: reliability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig3f.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    'fig3f.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    'fig3f.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    'fig3f.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    1.051175*x + 0.943781 with lines dt 2 lc 4 notitle, \
+    'fig3f.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    0.910669*x + 0.923721 with lines dt 2 lc 5 notitle

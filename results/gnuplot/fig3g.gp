@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig3g.png'
+set title 'Fig. 3g — Set A: profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig3g.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    -0.022080*x + 0.142403 with lines dt 2 lc 1 notitle, \
+    'fig3g.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    -0.026446*x + 0.139756 with lines dt 2 lc 2 notitle, \
+    'fig3g.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    -0.038997*x + 0.146258 with lines dt 2 lc 3 notitle, \
+    'fig3g.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    -0.110435*x + 0.175626 with lines dt 2 lc 4 notitle, \
+    'fig3g.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    -0.569273*x + 0.287278 with lines dt 2 lc 5 notitle

@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig3h.png'
+set title 'Fig. 3h — Set B: profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig3h.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.180052*x + 0.152492 with lines dt 2 lc 1 notitle, \
+    'fig3h.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    0.099259*x + 0.155578 with lines dt 2 lc 2 notitle, \
+    'fig3h.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    0.148933*x + 0.156719 with lines dt 2 lc 3 notitle, \
+    'fig3h.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    0.558757*x + 0.122181 with lines dt 2 lc 4 notitle, \
+    'fig3h.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    0.948566*x + 0.125627 with lines dt 2 lc 5 notitle

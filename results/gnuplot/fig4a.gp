@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig4a.png'
+set title 'Fig. 4a — Set A: SLA, reliability, profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig4a.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    -0.030759*x + 0.656228 with lines dt 2 lc 1 notitle, \
+    'fig4a.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    -0.365809*x + 0.698167 with lines dt 2 lc 2 notitle, \
+    'fig4a.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    -0.406717*x + 0.703610 with lines dt 2 lc 3 notitle, \
+    'fig4a.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    -0.726560*x + 0.717727 with lines dt 2 lc 4 notitle, \
+    'fig4a.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    -0.802753*x + 0.686105 with lines dt 2 lc 5 notitle

@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig4b.png'
+set title 'Fig. 4b — Set B: SLA, reliability, profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig4b.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    -0.497103*x + 0.663901 with lines dt 2 lc 1 notitle, \
+    'fig4b.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    -0.448751*x + 0.665398 with lines dt 2 lc 2 notitle, \
+    'fig4b.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    -0.431516*x + 0.668624 with lines dt 2 lc 3 notitle, \
+    'fig4b.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    0.234962*x + 0.601239 with lines dt 2 lc 4 notitle, \
+    'fig4b.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    0.728583*x + 0.485150 with lines dt 2 lc 5 notitle

@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig4c.png'
+set title 'Fig. 4c — Set A: wait, reliability, profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig4c.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.764143*x + 0.408431 with lines dt 2 lc 1 notitle, \
+    'fig4c.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    0.342430*x + 0.601559 with lines dt 2 lc 2 notitle, \
+    'fig4c.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    1.213036*x + 0.463212 with lines dt 2 lc 3 notitle, \
+    'fig4c.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    -0.147403*x + 0.724521 with lines dt 2 lc 4 notitle, \
+    'fig4c.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    -0.695222*x + 0.764074 with lines dt 2 lc 5 notitle

@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig4d.png'
+set title 'Fig. 4d — Set B: wait, reliability, profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig4d.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    1.547343*x + 0.361825 with lines dt 2 lc 1 notitle, \
+    'fig4d.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    0.851272*x + 0.499458 with lines dt 2 lc 2 notitle, \
+    'fig4d.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    1.491604*x + 0.426909 with lines dt 2 lc 3 notitle, \
+    'fig4d.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    0.568813*x + 0.690448 with lines dt 2 lc 4 notitle, \
+    'fig4d.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    0.793371*x + 0.685577 with lines dt 2 lc 5 notitle

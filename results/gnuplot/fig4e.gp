@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig4e.png'
+set title 'Fig. 4e — Set A: wait, SLA, profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig4e.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.744596*x + 0.342625 with lines dt 2 lc 1 notitle, \
+    'fig4e.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    0.139916*x + 0.585773 with lines dt 2 lc 2 notitle, \
+    'fig4e.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    0.975362*x + 0.450047 with lines dt 2 lc 3 notitle, \
+    'fig4e.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    -0.625273*x + 0.715980 with lines dt 2 lc 4 notitle, \
+    'fig4e.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    -0.667525*x + 0.680879 with lines dt 2 lc 5 notitle

@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig4f.png'
+set title 'Fig. 4f — Set B: wait, SLA, profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig4f.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    1.039811*x + 0.325509 with lines dt 2 lc 1 notitle, \
+    'fig4f.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    0.852506*x + 0.422475 with lines dt 2 lc 2 notitle, \
+    'fig4f.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    1.399225*x + 0.351656 with lines dt 2 lc 3 notitle, \
+    'fig4f.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    0.211419*x + 0.617451 with lines dt 2 lc 4 notitle, \
+    'fig4f.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    0.706085*x + 0.510205 with lines dt 2 lc 5 notitle

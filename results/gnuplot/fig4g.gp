@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig4g.png'
+set title 'Fig. 4g — Set A: wait, SLA, reliability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig4g.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.798272*x + 0.635009 with lines dt 2 lc 1 notitle, \
+    'fig4g.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    0.231406*x + 0.872901 with lines dt 2 lc 2 notitle, \
+    'fig4g.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    0.868560*x + 0.753754 with lines dt 2 lc 3 notitle, \
+    'fig4g.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    -1.527305*x + 0.994726 with lines dt 2 lc 4 notitle, \
+    'fig4g.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    -0.569038*x + 0.913426 with lines dt 2 lc 5 notitle

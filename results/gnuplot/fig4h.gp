@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig4h.png'
+set title 'Fig. 4h — Set B: wait, SLA, reliability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig4h.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.971214*x + 0.628753 with lines dt 2 lc 1 notitle, \
+    'fig4h.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    0.592796*x + 0.739034 with lines dt 2 lc 2 notitle, \
+    'fig4h.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    1.140200*x + 0.674155 with lines dt 2 lc 3 notitle, \
+    'fig4h.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    -0.096097*x + 0.896171 with lines dt 2 lc 4 notitle, \
+    'fig4h.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    0.659189*x + 0.776804 with lines dt 2 lc 5 notitle

@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig5a.png'
+set title 'Fig. 5a — Set A: all four objectives'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig5a.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.744596*x + 0.506969 with lines dt 2 lc 1 notitle, \
+    'fig5a.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'SJF-BF', \
+    0.139916*x + 0.689329 with lines dt 2 lc 2 notitle, \
+    'fig5a.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'EDF-BF', \
+    0.975362*x + 0.587535 with lines dt 2 lc 3 notitle, \
+    'fig5a.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'Libra', \
+    -0.726560*x + 0.788295 with lines dt 2 lc 4 notitle, \
+    'fig5a.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'Libra+$', \
+    -0.802753*x + 0.764579 with lines dt 2 lc 5 notitle

@@ -1,0 +1,18 @@
+set terminal pngcairo size 640,480
+set output 'fig6a.png'
+set title 'Fig. 6a — Set A: wait'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig6a.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.606361*x + 0.203908 with lines dt 2 lc 1 notitle, \
+    'fig6a.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    -0.392940*x + 0.593680 with lines dt 2 lc 2 notitle, \
+    'fig6a.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    'fig6a.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    'fig6a.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    -0.447214*x + 1.000000 with lines dt 2 lc 5 notitle

@@ -1,0 +1,17 @@
+set terminal pngcairo size 640,480
+set output 'fig6b.png'
+set title 'Fig. 6b — Set B: wait'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig6b.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    1.498239*x + 0.008120 with lines dt 2 lc 1 notitle, \
+    'fig6b.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    0.932261*x + 0.400732 with lines dt 2 lc 2 notitle, \
+    'fig6b.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    'fig6b.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    'fig6b.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward'

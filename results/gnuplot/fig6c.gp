@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig6c.png'
+set title 'Fig. 6c — Set A: SLA'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig6c.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.055615*x + 0.848016 with lines dt 2 lc 1 notitle, \
+    'fig6c.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    -0.446367*x + 0.970674 with lines dt 2 lc 2 notitle, \
+    'fig6c.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    -0.411956*x + 0.966066 with lines dt 2 lc 3 notitle, \
+    'fig6c.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    -0.451252*x + 0.963891 with lines dt 2 lc 4 notitle, \
+    'fig6c.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    0.257512*x + 0.213089 with lines dt 2 lc 5 notitle

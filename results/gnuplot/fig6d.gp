@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig6d.png'
+set title 'Fig. 6d — Set B: SLA'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig6d.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    -0.245789*x + 0.863980 with lines dt 2 lc 1 notitle, \
+    'fig6d.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    -0.592451*x + 0.928046 with lines dt 2 lc 2 notitle, \
+    'fig6d.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    -0.302288*x + 0.872939 with lines dt 2 lc 3 notitle, \
+    'fig6d.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    -0.210650*x + 0.857318 with lines dt 2 lc 4 notitle, \
+    'fig6d.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    -0.630896*x + 0.195856 with lines dt 2 lc 5 notitle

@@ -1,0 +1,17 @@
+set terminal pngcairo size 640,480
+set output 'fig6e.png'
+set title 'Fig. 6e — Set A: reliability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig6e.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    'fig6e.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    'fig6e.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    -2.000161*x + 1.000000 with lines dt 2 lc 3 notitle, \
+    'fig6e.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    -2.231344*x + 1.000000 with lines dt 2 lc 4 notitle, \
+    'fig6e.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward'

@@ -1,0 +1,17 @@
+set terminal pngcairo size 640,480
+set output 'fig6f.png'
+set title 'Fig. 6f — Set B: reliability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig6f.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    'fig6f.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    'fig6f.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    -0.243504*x + 0.971865 with lines dt 2 lc 3 notitle, \
+    'fig6f.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    0.851018*x + 0.946842 with lines dt 2 lc 4 notitle, \
+    'fig6f.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward'

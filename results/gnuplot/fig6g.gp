@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig6g.png'
+set title 'Fig. 6g — Set A: profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig6g.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    -1.145511*x + 0.948941 with lines dt 2 lc 1 notitle, \
+    'fig6g.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    -1.262968*x + 0.971956 with lines dt 2 lc 2 notitle, \
+    'fig6g.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    -1.285288*x + 0.998681 with lines dt 2 lc 3 notitle, \
+    'fig6g.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    -1.317571*x + 1.001301 with lines dt 2 lc 4 notitle, \
+    'fig6g.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    0.709961*x + 0.070089 with lines dt 2 lc 5 notitle

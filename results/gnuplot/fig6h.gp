@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig6h.png'
+set title 'Fig. 6h — Set B: profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig6h.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.734715*x + 0.570113 with lines dt 2 lc 1 notitle, \
+    'fig6h.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    0.630618*x + 0.593482 with lines dt 2 lc 2 notitle, \
+    'fig6h.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    0.634439*x + 0.361736 with lines dt 2 lc 3 notitle, \
+    'fig6h.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    0.699828*x + 0.430982 with lines dt 2 lc 4 notitle, \
+    'fig6h.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    0.426137*x + 0.072380 with lines dt 2 lc 5 notitle

@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig7a.png'
+set title 'Fig. 7a — Set A: SLA, reliability, profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig7a.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    -0.530863*x + 0.929816 with lines dt 2 lc 1 notitle, \
+    'fig7a.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    -1.167351*x + 0.982984 with lines dt 2 lc 2 notitle, \
+    'fig7a.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    -1.263052*x + 0.993511 with lines dt 2 lc 3 notitle, \
+    'fig7a.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    -1.357739*x + 0.994650 with lines dt 2 lc 4 notitle, \
+    'fig7a.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    0.356455*x + 0.428985 with lines dt 2 lc 5 notitle

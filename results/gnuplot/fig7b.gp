@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig7b.png'
+set title 'Fig. 7b — Set B: SLA, reliability, profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig7b.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.447305*x + 0.813267 with lines dt 2 lc 1 notitle, \
+    'fig7b.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    0.285513*x + 0.841917 with lines dt 2 lc 2 notitle, \
+    'fig7b.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    0.279404*x + 0.742476 with lines dt 2 lc 3 notitle, \
+    'fig7b.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    0.564245*x + 0.739204 with lines dt 2 lc 4 notitle, \
+    'fig7b.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    -0.370614*x + 0.427535 with lines dt 2 lc 5 notitle

@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig7c.png'
+set title 'Fig. 7c — Set A: wait, reliability, profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig7c.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.715098*x + 0.667169 with lines dt 2 lc 1 notitle, \
+    'fig7c.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    -0.288508*x + 0.837224 with lines dt 2 lc 2 notitle, \
+    'fig7c.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    -1.331028*x + 1.000016 with lines dt 2 lc 3 notitle, \
+    'fig7c.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    -1.407436*x + 1.001383 with lines dt 2 lc 4 notitle, \
+    'fig7c.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    0.701495*x + 0.690075 with lines dt 2 lc 5 notitle

@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig7d.png'
+set title 'Fig. 7d — Set B: wait, reliability, profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig7d.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    1.460785*x + 0.504075 with lines dt 2 lc 1 notitle, \
+    'fig7d.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    1.936603*x + 0.559733 with lines dt 2 lc 2 notitle, \
+    'fig7d.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    0.588174*x + 0.778199 with lines dt 2 lc 3 notitle, \
+    'fig7d.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    0.731968*x + 0.791409 with lines dt 2 lc 4 notitle, \
+    'fig7d.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    0.426137*x + 0.690793 with lines dt 2 lc 5 notitle

@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig7e.png'
+set title 'Fig. 7e — Set A: wait, SLA, profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig7e.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.705110*x + 0.609454 with lines dt 2 lc 1 notitle, \
+    'fig7e.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    -0.320699*x + 0.828953 with lines dt 2 lc 2 notitle, \
+    'fig7e.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    -1.215491*x + 0.992725 with lines dt 2 lc 3 notitle, \
+    'fig7e.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    -1.267280*x + 0.993067 with lines dt 2 lc 4 notitle, \
+    'fig7e.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    0.354778*x + 0.429009 with lines dt 2 lc 5 notitle

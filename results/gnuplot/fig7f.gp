@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig7f.png'
+set title 'Fig. 7f — Set B: wait, SLA, profitability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig7f.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    1.228322*x + 0.465558 with lines dt 2 lc 1 notitle, \
+    'fig7f.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    1.515561*x + 0.542060 with lines dt 2 lc 2 notitle, \
+    'fig7f.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    0.308829*x + 0.751301 with lines dt 2 lc 3 notitle, \
+    'fig7f.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    0.533949*x + 0.757966 with lines dt 2 lc 4 notitle, \
+    'fig7f.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    -0.370614*x + 0.427535 with lines dt 2 lc 5 notitle

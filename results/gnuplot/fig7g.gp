@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig7g.png'
+set title 'Fig. 7g — Set A: wait, SLA, reliability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig7g.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    0.581851*x + 0.677509 with lines dt 2 lc 1 notitle, \
+    'fig7g.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    -0.401115*x + 0.854965 with lines dt 2 lc 2 notitle, \
+    'fig7g.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    -0.889627*x + 0.992689 with lines dt 2 lc 3 notitle, \
+    'fig7g.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    -1.253007*x + 0.994551 with lines dt 2 lc 4 notitle, \
+    'fig7g.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    0.255874*x + 0.737709 with lines dt 2 lc 5 notitle

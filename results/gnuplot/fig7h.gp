@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig7h.png'
+set title 'Fig. 7h — Set B: wait, SLA, reliability'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig7h.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    1.270800*x + 0.621674 with lines dt 2 lc 1 notitle, \
+    'fig7h.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    0.988207*x + 0.751568 with lines dt 2 lc 2 notitle, \
+    'fig7h.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    -0.339083*x + 0.949295 with lines dt 2 lc 3 notitle, \
+    'fig7h.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    -0.080780*x + 0.936345 with lines dt 2 lc 4 notitle, \
+    'fig7h.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    -0.630896*x + 0.731952 with lines dt 2 lc 5 notitle

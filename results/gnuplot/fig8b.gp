@@ -1,0 +1,20 @@
+set terminal pngcairo size 640,480
+set output 'fig8b.png'
+set title 'Fig. 8b — Set B: all four objectives'
+set xlabel 'Volatility (Standard Deviation)'
+set ylabel 'Performance'
+set xrange [0:0.5]
+set yrange [0:1]
+set key outside right top
+set grid
+plot \
+    'fig8b.dat' index 0 using 1:2 with points pt 7 ps 1.4 title 'FCFS-BF', \
+    1.228322*x + 0.599169 with lines dt 2 lc 1 notitle, \
+    'fig8b.dat' index 1 using 1:2 with points pt 5 ps 1.4 title 'EDF-BF', \
+    1.550634*x + 0.653865 with lines dt 2 lc 2 notitle, \
+    'fig8b.dat' index 2 using 1:2 with points pt 9 ps 1.4 title 'Libra', \
+    0.279404*x + 0.806857 with lines dt 2 lc 3 notitle, \
+    'fig8b.dat' index 3 using 1:2 with points pt 11 ps 1.4 title 'LibraRiskD', \
+    0.564245*x + 0.804403 with lines dt 2 lc 4 notitle, \
+    'fig8b.dat' index 4 using 1:2 with points pt 13 ps 1.4 title 'FirstReward', \
+    -0.370614*x + 0.570651 with lines dt 2 lc 5 notitle

@@ -1,0 +1,307 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure``      regenerate one of the paper's figures (1–8)
+``table``       regenerate one of the paper's tables (1–6)
+``run``         simulate one policy on one configuration
+``trace``       show statistics of an SWF trace file (or the synthetic one)
+``recommend``   a priori policy recommendation for a model/set
+``list``        list policies, scenarios, objectives
+
+Everything prints plain text (the same renderings the benchmark exhibits
+use) and exits non-zero on bad arguments, so the CLI is scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.apriori import recommend_policy, risk_register
+from repro.core.objectives import OBJECTIVES
+from repro.economy.models import make_model
+from repro.experiments import figures as figures_mod
+from repro.experiments import tables as tables_mod
+from repro.experiments.report import format_table, summarize_figure, summarize_plot
+from repro.experiments.runner import RunCache, build_workload, run_grid
+from repro.experiments.scenarios import SCENARIOS, ExperimentConfig
+from repro.policies import BID_POLICIES, COMMODITY_POLICIES, POLICIES, make_policy
+from repro.service.provider import CommercialComputingService
+from repro.workload.swf import parse_swf
+from repro.workload.synthetic import SDSC_SP2, generate_trace, trace_statistics
+
+
+def _config_from_args(args) -> ExperimentConfig:
+    return ExperimentConfig(
+        n_jobs=args.jobs, total_procs=args.procs, seed=args.seed
+    ).for_set(args.set)
+
+
+def _add_scale_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=200, help="jobs per simulation")
+    parser.add_argument("--procs", type=int, default=128, help="cluster size")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument("--set", choices=("A", "B"), default="A",
+                        help="estimate set: A=accurate, B=trace estimates")
+
+
+def cmd_figure(args) -> int:
+    base = _config_from_args(args)
+    number = args.number
+    if number == 1:
+        print(summarize_plot(figures_mod.figure_1()))
+        return 0
+    if number == 2:
+        data = figures_mod.figure_2()
+        rows = [
+            {"time_s": t, "utility": u}
+            for t, u in list(zip(data["time"], data["utility"]))[:: max(len(data["time"]) // 15, 1)]
+        ]
+        print(format_table(rows, title="Fig. 2 — utility vs completion time"))
+        return 0
+    if number not in (3, 4, 5, 6, 7, 8):
+        print(f"error: no figure {number} in the paper", file=sys.stderr)
+        return 2
+    model = "commodity" if number <= 5 else "bid"
+    grids = figures_mod.run_model_grids(model, base)
+    builder = getattr(figures_mod, f"figure_{number}")
+    panels = builder(base, grids=grids)
+    print(summarize_figure(panels, include_ascii=args.ascii))
+    return 0
+
+
+def cmd_table(args) -> int:
+    builders = {
+        1: (tables_mod.table_i, "Table I — objectives"),
+        2: (tables_mod.table_ii, "Table II — sample statistics"),
+        3: (tables_mod.table_iii, "Table III — ranking by best performance"),
+        4: (tables_mod.table_iv, "Table IV — ranking by best volatility"),
+        5: (tables_mod.table_v, "Table V — policies"),
+        6: (tables_mod.table_vi, "Table VI — scenarios"),
+    }
+    if args.number not in builders:
+        print(f"error: no table {args.number} in the paper", file=sys.stderr)
+        return 2
+    builder, title = builders[args.number]
+    print(format_table(builder(), title=title))
+    return 0
+
+
+def cmd_run(args) -> int:
+    if args.policy not in POLICIES:
+        print(f"error: unknown policy {args.policy!r} (see `list`)", file=sys.stderr)
+        return 2
+    config = _config_from_args(args)
+    jobs = build_workload(config)
+    service = CommercialComputingService(
+        make_policy(args.policy), make_model(args.model), total_procs=config.total_procs
+    )
+    result = service.run(jobs)
+    objs = result.objectives()
+    print(format_table([
+        {"metric": "jobs submitted", "value": len(result.outcomes)},
+        {"metric": "jobs accepted", "value": sum(o.accepted for o in result.outcomes)},
+        {"metric": "SLAs fulfilled", "value": sum(o.sla_fulfilled for o in result.outcomes)},
+        {"metric": "wait (s)", "value": objs.wait},
+        {"metric": "SLA (%)", "value": objs.sla},
+        {"metric": "reliability (%)", "value": objs.reliability},
+        {"metric": "profitability (%)", "value": objs.profitability},
+        {"metric": "total utility", "value": result.ledger.total_utility},
+        {"metric": "penalties", "value": result.ledger.total_penalties},
+    ], title=f"{args.policy} on {args.model} model (Set {args.set}, {config.n_jobs} jobs)"))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.file:
+        jobs = parse_swf(args.file, last_n=args.last)
+        source = args.file
+    else:
+        jobs = generate_trace(SDSC_SP2.scaled(args.jobs), rng=args.seed)
+        source = f"synthetic SDSC-SP2 ({args.jobs} jobs, seed {args.seed})"
+    stats = trace_statistics(jobs)
+    rows = [{"statistic": k, "value": v} for k, v in stats.items()]
+    print(format_table(rows, title=f"workload statistics — {source}"))
+    if args.fit:
+        from repro.workload.calibration import calibration_report
+
+        report = calibration_report(jobs, seed=args.seed)
+        model = report["model"]
+        print("\nfitted TraceModel (synthetic twin generator):")
+        print(f"  mean_interarrival={model.mean_interarrival:.1f}s "
+              f"(sigma_log {model.interarrival_sigma_log:.2f})")
+        print(f"  mean_runtime={model.mean_runtime:.1f}s "
+              f"(sigma_log {model.runtime_sigma_log:.2f})")
+        print(f"  max_procs={model.max_procs}  proc_exponent_max={model.proc_exponent_max:.2f}  "
+              f"power_of_two={model.power_of_two_fraction:.0%}")
+        print(f"  overestimate_fraction={model.overestimate_fraction:.0%}")
+        errs = ", ".join(f"{k} {v:.1%}" for k, v in report["relative_errors"].items())
+        print(f"  twin relative errors: {errs}")
+    return 0
+
+
+def cmd_frontier(args) -> int:
+    from repro.core.frontier import frontier_report, plot_points
+    from repro.core.objectives import OBJECTIVES
+
+    base = _config_from_args(args)
+    policies = COMMODITY_POLICIES if args.model == "commodity" else BID_POLICIES
+    grid = run_grid(policies, args.model, base, args.set, SCENARIOS, RunCache())
+    plot = grid.integrated_plot(OBJECTIVES)
+    rows = [
+        {
+            "policy": e.policy,
+            "mean_performance": e.performance,
+            "mean_volatility": e.volatility,
+            "on_frontier": e.on_frontier,
+            "risk_adjusted": e.risk_adjusted,
+        }
+        for e in frontier_report(plot_points(plot, "mean"))
+    ]
+    print(format_table(
+        rows, title=f"efficient frontier — {args.model} model, Set {args.set}"
+    ))
+    return 0
+
+
+def cmd_tornado(args) -> int:
+    from repro.core.objectives import OBJECTIVES
+    from repro.experiments.sensitivity import format_tornado, tornado_analysis
+
+    if args.policy not in POLICIES:
+        print(f"error: unknown policy {args.policy!r} (see `list`)", file=sys.stderr)
+        return 2
+    base = _config_from_args(args)
+    tornado = tornado_analysis(args.policy, args.model, base, SCENARIOS, RunCache())
+    for objective in OBJECTIVES:
+        print(format_tornado(
+            tornado[objective],
+            title=f"{args.policy} — {objective.value} ({args.model}, Set {args.set})",
+        ))
+        print()
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    base = _config_from_args(args)
+    policies = COMMODITY_POLICIES if args.model == "commodity" else BID_POLICIES
+    grid = run_grid(policies, args.model, base, args.set, SCENARIOS, RunCache())
+    rec = recommend_policy(grid.separate, volatility_tolerance=args.tolerance)
+    print(f"recommended policy: {rec.policy}")
+    print(f"  {rec.rationale}")
+    if rec.alternatives:
+        print(f"  alternatives: {', '.join(rec.alternatives)}")
+    if args.register:
+        rows = [e.as_row() for e in risk_register(grid.separate)]
+        print()
+        print(format_table(rows, title="risk register (moderate and above)"))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.full_report import generate_report
+
+    base = ExperimentConfig(n_jobs=args.jobs, total_procs=args.procs, seed=args.seed)
+    index = generate_report(args.output, base=base, n_workers=args.workers)
+    print(f"report written to {index['output_dir']} "
+          f"({index['simulations']} simulations, {len(index['paths'])} artefacts)")
+    for key, rec in index["recommendations"].items():
+        print(f"  {key}: {rec.policy}")
+    return 0
+
+
+def cmd_list(args) -> int:
+    print("policies:")
+    for name in POLICIES:
+        markets = []
+        if name in COMMODITY_POLICIES:
+            markets.append("commodity")
+        if name in BID_POLICIES:
+            markets.append("bid")
+        tag = ", ".join(markets) if markets else "ablation baseline"
+        print(f"  {name:12s} ({tag})")
+    print("scenarios:")
+    for scenario in SCENARIOS:
+        values = ", ".join(f"{v:g}" for v in scenario.values)
+        print(f"  {scenario.name:20s} {values}")
+    print("objectives:")
+    for obj in OBJECTIVES:
+        print(f"  {obj.value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Integrated risk analysis for a commercial computing service "
+        "(Yeo & Buyya, IPDPS 2007) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", type=int)
+    p.add_argument("--ascii", action="store_true", help="include ASCII scatter plots")
+    _add_scale_options(p)
+    p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int)
+    p.set_defaults(fn=cmd_table)
+
+    p = sub.add_parser("run", help="simulate one policy")
+    p.add_argument("policy")
+    p.add_argument("--model", choices=("commodity", "bid"), default="bid")
+    _add_scale_options(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("trace", help="workload statistics (SWF or synthetic)")
+    p.add_argument("--file", help="SWF trace file")
+    p.add_argument("--last", type=int, default=None, help="keep only the last N jobs")
+    p.add_argument("--jobs", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fit", action="store_true",
+                   help="fit a synthetic TraceModel to the workload")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("frontier", help="Pareto frontier + risk-adjusted scores")
+    p.add_argument("--model", choices=("commodity", "bid"), default="bid")
+    _add_scale_options(p)
+    p.set_defaults(fn=cmd_frontier)
+
+    p = sub.add_parser("tornado", help="per-knob sensitivity of one policy")
+    p.add_argument("policy")
+    p.add_argument("--model", choices=("commodity", "bid"), default="bid")
+    _add_scale_options(p)
+    p.set_defaults(fn=cmd_tornado)
+
+    p = sub.add_parser("recommend", help="a priori policy recommendation")
+    p.add_argument("--model", choices=("commodity", "bid"), default="bid")
+    p.add_argument("--tolerance", type=float, default=0.2,
+                   help="maximum acceptable integrated volatility")
+    p.add_argument("--register", action="store_true", help="print the risk register")
+    _add_scale_options(p)
+    p.set_defaults(fn=cmd_recommend)
+
+    p = sub.add_parser("report", help="run the full reproduction into a directory")
+    p.add_argument("output", help="report directory to create")
+    p.add_argument("--jobs", type=int, default=200)
+    p.add_argument("--procs", type=int, default=128)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1, help="process pool size")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("list", help="list policies, scenarios, objectives")
+    p.set_defaults(fn=cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Cluster resource models.
+
+The paper simulates the IBM SP2 at SDSC: 128 compute nodes, each with a SPEC
+rating of 168.  Two execution disciplines are modelled, matching the two
+policy families:
+
+- :mod:`repro.cluster.spaceshared` — one job per processor at a time; used
+  by the backfilling policies (FCFS-BF, SJF-BF, EDF-BF) and FirstReward.
+  :mod:`repro.cluster.profile` supplies the availability arithmetic EASY
+  backfilling needs (shadow time and spare processors).
+- :mod:`repro.cluster.timeshared` — deadline-proportional processor sharing;
+  used by the Libra family (Libra, Libra+$, LibraRiskD).
+"""
+
+from repro.cluster.node import Node
+from repro.cluster.profile import earliest_start_time, easy_backfill_window
+from repro.cluster.spaceshared import RunningJob, SpaceSharedCluster
+from repro.cluster.timeshared import ShareMode, TimeSharedCluster, TSJobState
+
+__all__ = [
+    "Node",
+    "SpaceSharedCluster",
+    "RunningJob",
+    "earliest_start_time",
+    "easy_backfill_window",
+    "TimeSharedCluster",
+    "TSJobState",
+    "ShareMode",
+]

@@ -1,0 +1,32 @@
+"""Compute node description.
+
+The simulated machine is homogeneous (every SDSC SP2 node has a SPEC rating
+of 168), so runtimes from the trace are wall-clock seconds on any node and
+the rating only matters if a heterogeneous cluster is configured: work is
+expressed in *reference-node seconds* and a node processes it at
+``spec_rating / reference_rating``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: SPEC rating of the SDSC SP2 nodes (paper §5.3) — the reference rating.
+REFERENCE_RATING = 168.0
+
+
+@dataclass(frozen=True)
+class Node:
+    """One compute node."""
+
+    node_id: int
+    spec_rating: float = REFERENCE_RATING
+
+    def __post_init__(self) -> None:
+        if self.spec_rating <= 0:
+            raise ValueError(f"node {self.node_id}: non-positive SPEC rating")
+
+    @property
+    def speed_factor(self) -> float:
+        """Execution speed relative to the reference (trace) node."""
+        return self.spec_rating / REFERENCE_RATING

@@ -1,0 +1,174 @@
+"""Space-shared cluster: one job per processor at a time.
+
+Used by the backfilling policies and FirstReward.  The cluster tracks free
+processors and running jobs; jobs run for their *actual* runtime (the
+scheduler only ever sees estimates), and a completion callback hands control
+back to the owning policy.
+
+The paper's SDSC SP2 is homogeneous (all SPEC rating 168), which is the
+default fast path here.  Passing ``node_ratings`` turns on heterogeneity:
+jobs are gang-scheduled on the fastest free nodes and progress at the pace
+of the *slowest* node in the allocation, so a parallel job's wall time is
+``runtime / min(speed factors)`` with runtimes expressed on the reference
+(rating-168) node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.cluster.node import REFERENCE_RATING, Node
+from repro.cluster.profile import Release
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle, Priority
+from repro.workload.job import Job
+
+
+@dataclass
+class RunningJob:
+    """Book-keeping for one executing job."""
+
+    job: Job
+    start_time: float
+    #: execution speed relative to the reference node (min over allocation).
+    speed: float = 1.0
+    #: node ids held by the job (heterogeneous clusters only).
+    nodes: tuple[int, ...] = ()
+    completion: Optional[EventHandle] = field(repr=False, default=None)
+
+    @property
+    def estimated_finish(self) -> float:
+        """Finish time the scheduler believes in (start + estimate at the
+        allocation's speed)."""
+        return self.start_time + self.job.estimate / self.speed
+
+    @property
+    def actual_finish(self) -> float:
+        return self.start_time + self.job.runtime / self.speed
+
+
+class SpaceSharedCluster:
+    """A space-shared machine, homogeneous by default.
+
+    Parameters
+    ----------
+    sim:
+        The driving simulator.
+    total_procs:
+        Machine size (the paper's SDSC SP2: 128).  Ignored when
+        ``node_ratings`` is given (its length defines the size).
+    node_ratings:
+        Optional per-node SPEC ratings for a heterogeneous machine;
+        runtimes are interpreted on the reference rating
+        (:data:`repro.cluster.node.REFERENCE_RATING`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        total_procs: int = 128,
+        node_ratings: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.sim = sim
+        if node_ratings is not None:
+            if not node_ratings:
+                raise ValueError("cluster needs at least one node")
+            self.nodes = [Node(i, float(r)) for i, r in enumerate(node_ratings)]
+            self.total_procs = len(self.nodes)
+            self.heterogeneous = True
+            # Fastest-first free list: allocations prefer fast nodes so the
+            # gang speed (min over allocation) stays as high as possible.
+            self._free_nodes: list[int] = sorted(
+                range(self.total_procs),
+                key=lambda i: (-self.nodes[i].speed_factor, i),
+            )
+        else:
+            if total_procs < 1:
+                raise ValueError("cluster needs at least one processor")
+            self.nodes = [Node(i) for i in range(int(total_procs))]
+            self.total_procs = int(total_procs)
+            self.heterogeneous = False
+            self._free_nodes = []
+        self.free_procs = self.total_procs
+        self._running: dict[int, RunningJob] = {}
+
+    # ------------------------------------------------------------------
+    def can_fit(self, procs: int) -> bool:
+        return procs <= self.free_procs
+
+    def _allocate_nodes(self, procs: int) -> tuple[tuple[int, ...], float]:
+        """Heterogeneous path: take the fastest free nodes."""
+        chosen = self._free_nodes[:procs]
+        del self._free_nodes[:procs]
+        speed = min(self.nodes[i].speed_factor for i in chosen)
+        return tuple(chosen), speed
+
+    def start(
+        self,
+        job: Job,
+        on_finish: Callable[[Job, float], None],
+        max_runtime: Optional[float] = None,
+    ) -> RunningJob:
+        """Begin executing ``job`` now; ``on_finish(job, finish_time)`` fires
+        when the actual runtime (at the allocation's speed) elapses.
+
+        ``max_runtime`` caps execution (reference-node seconds): real batch
+        systems kill a job once its requested time is exhausted, so passing
+        ``job.estimate`` models that discipline; the caller can detect a
+        kill by ``job.runtime > max_runtime``.
+        """
+        if job.procs > self.free_procs:
+            raise ValueError(
+                f"job {job.job_id} needs {job.procs} processors, "
+                f"only {self.free_procs} free"
+            )
+        if job.job_id in self._running:
+            raise ValueError(f"job {job.job_id} is already running")
+        if max_runtime is not None and max_runtime <= 0:
+            raise ValueError("max_runtime must be positive")
+        self.free_procs -= job.procs
+        if self.heterogeneous:
+            nodes, speed = self._allocate_nodes(job.procs)
+        else:
+            nodes, speed = (), 1.0
+        duration = job.runtime if max_runtime is None else min(job.runtime, max_runtime)
+        record = RunningJob(job=job, start_time=self.sim.now, speed=speed, nodes=nodes)
+        record.completion = self.sim.schedule(
+            duration / speed,
+            self._complete,
+            record,
+            on_finish,
+            priority=Priority.COMPLETION,
+        )
+        self._running[job.job_id] = record
+        return record
+
+    def _complete(self, record: RunningJob, on_finish) -> None:
+        del self._running[record.job.job_id]
+        self.free_procs += record.job.procs
+        if self.heterogeneous:
+            self._free_nodes.extend(record.nodes)
+            self._free_nodes.sort(key=lambda i: (-self.nodes[i].speed_factor, i))
+        assert self.free_procs <= self.total_procs
+        on_finish(record.job, self.sim.now)
+
+    # ------------------------------------------------------------------
+    @property
+    def used_procs(self) -> int:
+        return self.total_procs - self.free_procs
+
+    def running(self) -> list[RunningJob]:
+        """Running jobs ordered by estimated finish (for the profile)."""
+        return sorted(self._running.values(), key=lambda r: r.estimated_finish)
+
+    def releases(self) -> list[Release]:
+        """(estimated finish, procs) pairs for the backfilling profile."""
+        return [(r.estimated_finish, r.job.procs) for r in self._running.values()]
+
+    def is_running(self, job_id: int) -> bool:
+        return job_id in self._running
+
+    def utilization(self) -> float:
+        """Instantaneous processor utilisation in [0, 1]."""
+        return self.used_procs / self.total_procs

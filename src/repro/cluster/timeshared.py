@@ -1,0 +1,279 @@
+"""Time-shared cluster with deadline-proportional processor sharing.
+
+This is the execution substrate of the Libra family (paper §5.2): multiple
+jobs share each processor, each guaranteed at least its *committed share*
+``tr_i / d_i`` (runtime estimate over deadline), with any residual capacity
+distributed equally among the jobs present.
+
+Two share disciplines are supported:
+
+- ``ShareMode.STATIC`` (Libra, Libra+$): the share committed at admission,
+  computed from the runtime *estimate*, is held until the job actually
+  finishes.
+- ``ShareMode.DYNAMIC`` (LibraRiskD): the share is re-derived from the
+  *estimated remaining* work over the time left to the deadline, so capacity
+  released by jobs running ahead of their estimates is reusable, and a job
+  revealed to be under-estimated (consumed work ≥ estimated work, still
+  running) is flagged as a *deadline-delay risk* on its nodes.
+
+A parallel job occupies one share slot on each of ``procs`` nodes and
+progresses gang-style at the minimum of its per-node rates.  Progress is
+integrated between events.  In static mode rates only change at admissions
+and completions, so the piecewise integration is exact; in dynamic mode the
+required rates drift between events and the integration is a
+piecewise-constant approximation refreshed at every event.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle, Priority
+from repro.workload.job import Job
+
+#: share floor for a dynamic-mode job past its estimate (keeps it runnable).
+MIN_DYNAMIC_SHARE = 1e-3
+#: numerical slack on the Σ share ≤ 1 admission test.
+SHARE_EPS = 1e-9
+#: remaining work below this counts as finished.
+WORK_EPS = 1e-6
+
+
+class ShareMode(enum.Enum):
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
+@dataclass
+class TSJobState:
+    """Run state of one admitted job."""
+
+    job: Job
+    nodes: tuple[int, ...]
+    share: float  # committed (static) share per node
+    start_time: float
+    remaining_work: float  # seconds of dedicated-CPU work left (actual)
+    consumed: float = 0.0  # seconds of work done so far
+    rate: float = 0.0
+    completion: Optional[EventHandle] = field(repr=False, default=None)
+
+    @property
+    def past_estimate(self) -> bool:
+        """True once the job has consumed its estimated work but not finished
+        — the under-estimation signal LibraRiskD keys on."""
+        return self.consumed >= self.job.estimate - WORK_EPS and self.remaining_work > WORK_EPS
+
+    def required_rate(self, now: float) -> float:
+        """Average rate needed from ``now`` to still meet the deadline,
+        based on the *estimated* remaining work."""
+        est_remaining = max(self.job.estimate - self.consumed, 0.0)
+        window = self.job.absolute_deadline - now
+        if window <= 0.0:
+            return 1.0
+        return min(est_remaining / window, 1.0)
+
+
+class TimeSharedCluster:
+    """Deadline-proportional processor-sharing machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        total_procs: int = 128,
+        mode: ShareMode = ShareMode.STATIC,
+    ) -> None:
+        if total_procs < 1:
+            raise ValueError("cluster needs at least one processor")
+        self.sim = sim
+        self.total_procs = int(total_procs)
+        self.mode = mode
+        self.committed: list[float] = [0.0] * self.total_procs
+        self.node_jobs: list[set[int]] = [set() for _ in range(self.total_procs)]
+        self._states: dict[int, TSJobState] = {}
+        self._last_update = sim.now
+
+    # -- admission helpers -------------------------------------------------
+    def node_share_load(self, node: int) -> float:
+        """Current admission load of a node: committed static shares, or the
+        sum of required rates in dynamic mode."""
+        if self.mode is ShareMode.STATIC:
+            return self.committed[node]
+        self._sync_progress()
+        now = self.sim.now
+        return sum(self._states[j].required_rate(now) for j in self.node_jobs[node])
+
+    def node_has_risk(self, node: int) -> bool:
+        """Dynamic mode: any job on the node already past its estimate."""
+        self._sync_progress()
+        return any(self._states[j].past_estimate for j in self.node_jobs[node])
+
+    def feasible_nodes(
+        self, share: float, exclude_risky: bool = False
+    ) -> list[int]:
+        """Nodes able to take an additional ``share``, best-fit first.
+
+        Best fit (paper §5.2): nodes with the least processor time left
+        after placing the job are preferred, saturating each node.
+        """
+        self._sync_progress()
+        now = self.sim.now
+        if self.mode is ShareMode.STATIC:
+            loads = {jid: s.share for jid, s in self._states.items()}
+        else:
+            loads = {jid: s.required_rate(now) for jid, s in self._states.items()}
+        risky = (
+            {jid for jid, s in self._states.items() if s.past_estimate}
+            if exclude_risky
+            else frozenset()
+        )
+        candidates = []
+        for node in range(self.total_procs):
+            node_set = self.node_jobs[node]
+            if exclude_risky and not risky.isdisjoint(node_set):
+                continue
+            load = sum(loads[j] for j in node_set)
+            if load + share <= 1.0 + SHARE_EPS:
+                candidates.append((1.0 - load - share, node))
+        candidates.sort()
+        return [node for _, node in candidates]
+
+    def admit(
+        self,
+        job: Job,
+        share: float,
+        nodes: Sequence[int],
+        on_finish: Callable[[Job, float], None],
+    ) -> TSJobState:
+        """Commit ``share`` on ``nodes`` and start ``job`` immediately."""
+        if len(nodes) != job.procs:
+            raise ValueError(
+                f"job {job.job_id} needs {job.procs} nodes, got {len(nodes)}"
+            )
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("node list contains duplicates")
+        if not 0.0 < share <= 1.0 + SHARE_EPS:
+            raise ValueError(f"share must be in (0, 1], got {share}")
+        if job.job_id in self._states:
+            raise ValueError(f"job {job.job_id} is already running")
+        self._sync_progress()
+        state = TSJobState(
+            job=job,
+            nodes=tuple(nodes),
+            share=float(share),
+            start_time=self.sim.now,
+            remaining_work=job.runtime,
+        )
+        self._states[job.job_id] = state
+        state._on_finish = on_finish  # type: ignore[attr-defined]
+        for node in nodes:
+            self.committed[node] += share
+            self.node_jobs[node].add(job.job_id)
+        self._reschedule_all()
+        return state
+
+    # -- execution ---------------------------------------------------------
+    def _sync_progress(self) -> None:
+        """Integrate work done since the last rate change."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt <= 0.0:
+            return
+        for state in self._states.values():
+            done = state.rate * dt
+            state.consumed += done
+            state.remaining_work = max(state.remaining_work - done, 0.0)
+        self._last_update = now
+
+    def _rates_snapshot(self) -> dict[int, float]:
+        """Current rate of every job, computed with one pass over the
+        job→node incidence (avoids the O(jobs²) naive recomputation)."""
+        now = self.sim.now
+        if self.mode is ShareMode.STATIC:
+            shares = {jid: s.share for jid, s in self._states.items()}
+        else:
+            shares = {
+                jid: max(s.required_rate(now), MIN_DYNAMIC_SHARE)
+                for jid, s in self._states.items()
+            }
+        rates = {jid: 1.0 for jid in self._states}
+        for node_set in self.node_jobs:
+            k = len(node_set)
+            if k == 0:
+                continue
+            total = sum(shares[j] for j in node_set)
+            if total <= 1.0 + SHARE_EPS:
+                bonus = max(1.0 - total, 0.0) / k
+                for j in node_set:
+                    rates[j] = min(rates[j], min(shares[j] + bonus, 1.0))
+            else:
+                for j in node_set:
+                    rates[j] = min(rates[j], shares[j] / total)
+        return rates
+
+    def _reschedule_all(self) -> None:
+        """Recompute every job's rate and (re)schedule its completion."""
+        rates = self._rates_snapshot()
+        for state in self._states.values():
+            state.rate = rates[state.job.job_id]
+            if state.completion is not None:
+                state.completion.cancel()
+            if state.rate <= 0.0:  # pragma: no cover - MIN_DYNAMIC_SHARE forbids
+                raise RuntimeError(f"job {state.job.job_id} starved (rate 0)")
+            eta = state.remaining_work / state.rate
+            state.completion = self.sim.schedule(
+                eta, self._complete, state, priority=Priority.COMPLETION
+            )
+
+    def _complete(self, state: TSJobState) -> None:
+        self._sync_progress()
+        # Authoritative: rate changes always cancel and reschedule the
+        # completion, so snap the float residual rather than rescheduling a
+        # sub-resolution eta.
+        state.consumed += state.remaining_work
+        state.remaining_work = 0.0
+        del self._states[state.job.job_id]
+        for node in state.nodes:
+            self.committed[node] -= state.share
+            if abs(self.committed[node]) < SHARE_EPS:
+                self.committed[node] = 0.0
+            self.node_jobs[node].discard(state.job.job_id)
+        state.completion = None
+        self._reschedule_all()
+        state._on_finish(state.job, self.sim.now)  # type: ignore[attr-defined]
+
+    def committed_seconds_in_window(self, node: int, window: float) -> float:
+        """Processor-seconds of ``node`` committed to current jobs within the
+        next ``window`` seconds (Libra+$'s RESMax − RESFree).
+
+        Each job's share occupies the node only until its own deadline —
+        a reservation expiring early in the window leaves the remainder
+        free for the job being priced.
+        """
+        self._sync_progress()
+        now = self.sim.now
+        return sum(
+            self._states[j].share
+            * max(0.0, min(self._states[j].job.absolute_deadline - now, window))
+            for j in self.node_jobs[node]
+        )
+
+    # -- introspection -------------------------------------------------------
+    def active_jobs(self) -> list[TSJobState]:
+        return list(self._states.values())
+
+    def is_running(self, job_id: int) -> bool:
+        return job_id in self._states
+
+    def state_of(self, job_id: int) -> TSJobState:
+        return self._states[job_id]
+
+    def total_committed(self) -> float:
+        return sum(self.committed)
+
+    def utilization(self) -> float:
+        """Fraction of total capacity currently committed."""
+        return self.total_committed() / self.total_procs if self.total_procs else 0.0

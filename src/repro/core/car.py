@@ -1,0 +1,159 @@
+"""Computation-at-Risk and classical scheduling metrics (related work).
+
+The paper positions itself against Kleban & Clearwater's
+*Computation-at-Risk* (CaR, refs [15][16]): the risk of completing jobs
+later than expected, measured on the distribution of either **makespan**
+(response time) or the **expansion factor** (slowdown).  This module
+implements those baselines so the paper's risk analysis can be compared
+against them on the same runs:
+
+- :func:`response_times`, :func:`slowdowns`, :func:`bounded_slowdowns` —
+  the classical per-job metrics (Feitelson's conventions).
+- :func:`computation_at_risk` — CaR(q): the q-quantile of the chosen
+  metric's distribution, i.e. the value the provider risks exceeding with
+  probability 1−q, and its excess over the median ("risk premium").
+- :func:`jain_fairness` — Jain's index over per-user mean slowdowns (uses
+  the ``user_id`` job annotation when present).
+
+All functions consume the same :class:`~repro.core.objectives.JobOutcome`
+records as the paper's objectives, restricted to completed jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.objectives import JobOutcome
+
+#: runtime floor for bounded slowdown (Feitelson's τ = 10 s convention).
+BOUNDED_SLOWDOWN_TAU = 10.0
+
+
+def _completed(outcomes: Iterable[JobOutcome]) -> list[JobOutcome]:
+    return [
+        o for o in outcomes
+        if o.accepted and o.start_time is not None and o.finish_time is not None
+    ]
+
+
+def response_times(outcomes: Iterable[JobOutcome]) -> np.ndarray:
+    """Makespan per completed job: finish − submit (seconds)."""
+    done = _completed(outcomes)
+    return np.array([o.finish_time - o.submit_time for o in done])
+
+
+def slowdowns(outcomes: Iterable[JobOutcome]) -> np.ndarray:
+    """Expansion factor per completed job: response time / service time."""
+    done = _completed(outcomes)
+    out = []
+    for o in done:
+        service = o.finish_time - o.start_time
+        if service <= 0:
+            continue
+        out.append((o.finish_time - o.submit_time) / service)
+    return np.array(out)
+
+
+def bounded_slowdowns(
+    outcomes: Iterable[JobOutcome], tau: float = BOUNDED_SLOWDOWN_TAU
+) -> np.ndarray:
+    """Bounded slowdown: response / max(service, τ), floored at 1 —
+    avoids tiny jobs dominating the average."""
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    done = _completed(outcomes)
+    out = []
+    for o in done:
+        service = o.finish_time - o.start_time
+        response = o.finish_time - o.submit_time
+        out.append(max(response / max(service, tau), 1.0))
+    return np.array(out)
+
+
+@dataclass(frozen=True)
+class CaRResult:
+    """Computation-at-Risk summary for one metric distribution."""
+
+    metric: str
+    quantile: float
+    value_at_risk: float     # the q-quantile of the metric
+    median: float
+    risk_premium: float      # value_at_risk − median
+    n_jobs: int
+
+
+def computation_at_risk(
+    outcomes: Iterable[JobOutcome],
+    metric: str = "makespan",
+    quantile: float = 0.95,
+) -> CaRResult:
+    """CaR(q) à la Kleban & Clearwater.
+
+    ``metric`` is ``"makespan"`` (response time) or ``"slowdown"``
+    (expansion factor).  The *value at risk* is the metric's q-quantile:
+    with probability 1−q a job does worse than this.  The *risk premium*
+    (VaR − median) is their headline comparison quantity.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+    if metric == "makespan":
+        values = response_times(outcomes)
+    elif metric == "slowdown":
+        values = slowdowns(outcomes)
+    else:
+        raise ValueError(f"unknown CaR metric {metric!r}")
+    if values.size == 0:
+        raise ValueError("CaR needs at least one completed job")
+    var = float(np.quantile(values, quantile))
+    median = float(np.median(values))
+    return CaRResult(
+        metric=metric,
+        quantile=quantile,
+        value_at_risk=var,
+        median=median,
+        risk_premium=var - median,
+        n_jobs=int(values.size),
+    )
+
+
+def per_user_mean_slowdowns(
+    outcomes: Iterable[JobOutcome],
+    user_of: Mapping[int, int],
+) -> dict[int, float]:
+    """Mean slowdown per user; ``user_of`` maps job_id → user id."""
+    sums: dict[int, list[float]] = {}
+    for o in _completed(outcomes):
+        user = user_of.get(o.job_id)
+        if user is None:
+            continue
+        service = o.finish_time - o.start_time
+        if service <= 0:
+            continue
+        sums.setdefault(user, []).append((o.finish_time - o.submit_time) / service)
+    return {u: float(np.mean(v)) for u, v in sums.items()}
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²) ∈ (0, 1], 1 = perfectly fair."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("fairness needs at least one value")
+    if np.any(arr < 0):
+        raise ValueError("fairness values must be non-negative")
+    denom = arr.size * float(np.sum(arr**2))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(arr) ** 2 / denom)
+
+
+def user_fairness(
+    outcomes: Iterable[JobOutcome], user_of: Mapping[int, int]
+) -> Optional[float]:
+    """Jain index over per-user mean slowdowns (None without user data)."""
+    per_user = per_user_mean_slowdowns(outcomes, user_of)
+    if not per_user:
+        return None
+    return jain_fairness(list(per_user.values()))

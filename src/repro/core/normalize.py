@@ -1,0 +1,122 @@
+"""Normalization of raw objective values (paper §4.1).
+
+Raw objective values are standardised to [0, 1] with 0 = worst and 1 = best
+before any risk statistic is computed.  The paper specifies the range but not
+the exact mapping for the wait objective, so this module provides:
+
+- :func:`normalize_percentage` — percentage objectives (SLA, reliability,
+  profitability) map as ``value / 100``, clipped to [0, 1] (the bid-based
+  penalty can push profitability below 0 %; that is "worst", i.e. 0).
+- :func:`normalize_wait` — the wait objective is lower-is-better and
+  unbounded, so it is normalised *relative to the policies compared at the
+  same scenario point*: ``1 − wait / max_wait`` (default), or min–max.
+  A zero wait maps to the ideal 1 under both rules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.objectives import Objective, ObjectiveSet
+
+
+class NormalizationError(ValueError):
+    """Raised on values that cannot be normalised (NaN, wrong shape)."""
+
+
+def _check_finite(values: np.ndarray) -> None:
+    if not np.all(np.isfinite(values)):
+        raise NormalizationError(f"non-finite raw values: {values!r}")
+
+
+def normalize_percentage(values: Iterable[float]) -> np.ndarray:
+    """Map percentage values to [0, 1]; values outside [0, 100] are clipped."""
+    arr = np.asarray(list(values), dtype=float)
+    _check_finite(arr)
+    return np.clip(arr / 100.0, 0.0, 1.0)
+
+
+def normalize_wait(
+    waits: Iterable[float], method: str = "relative-max"
+) -> np.ndarray:
+    """Normalise wait times (seconds, lower = better) across compared runs.
+
+    ``relative-max``: ``1 − w / max(w)`` — zero wait is ideal (1), the worst
+    run gets ``1 − 1 = 0`` only when the best run waits 0.  ``minmax``:
+    ``(max − w)/(max − min)`` — worst run always 0, best always 1.
+
+    All-equal inputs (including all-zero) normalise to 1.0: there is no
+    dispersion to penalise, and a uniformly-zero wait is the paper's ideal.
+    """
+    arr = np.asarray(list(waits), dtype=float)
+    _check_finite(arr)
+    if arr.size == 0:
+        return arr
+    if np.any(arr < 0):
+        raise NormalizationError("wait times cannot be negative")
+    w_max = float(arr.max())
+    w_min = float(arr.min())
+    if w_max == w_min:
+        return np.ones_like(arr)
+    if method == "relative-max":
+        return 1.0 - arr / w_max
+    if method == "minmax":
+        return (w_max - arr) / (w_max - w_min)
+    raise NormalizationError(f"unknown wait normalization method: {method}")
+
+
+def normalize_objective(
+    objective: Objective,
+    values: Iterable[float],
+    wait_method: str = "relative-max",
+) -> np.ndarray:
+    """Normalise raw values of one objective (dispatch on orientation)."""
+    if objective is Objective.WAIT:
+        return normalize_wait(values, method=wait_method)
+    return normalize_percentage(values)
+
+
+def normalize_runs(
+    runs: Sequence[Sequence[ObjectiveSet]],
+    wait_method: str = "grid-max",
+) -> dict[Objective, np.ndarray]:
+    """Normalise a (policy × scenario-value) grid of raw objective sets.
+
+    ``runs[p][v]`` is the :class:`ObjectiveSet` of policy ``p`` at varying
+    value ``v``.  Percentages normalise pointwise.  The wait objective is
+    normalised over the whole scenario grid by default (``grid-max``):
+    ``1 − wait / max(all waits in the scenario)``, so a zero wait is ideal,
+    the single worst (policy, value) point is 0, and moderate waits land
+    mid-range — matching the paper's Fig. 3a where the backfillers sit
+    between 0.5 and 0.9 rather than at the floor.  ``relative-max`` and
+    ``minmax`` normalise within each scenario value instead.
+
+    Returns ``{objective: array of shape (n_policies, n_values)}``.
+    """
+    if not runs:
+        return {obj: np.zeros((0, 0)) for obj in Objective}
+    n_values = len(runs[0])
+    if any(len(r) != n_values for r in runs):
+        raise NormalizationError("all policies must cover the same scenario values")
+
+    out: dict[Objective, np.ndarray] = {}
+    for objective in Objective:
+        raw = np.array(
+            [[objset.value(objective) for objset in policy_runs] for policy_runs in runs],
+            dtype=float,
+        )
+        if objective is Objective.WAIT:
+            if wait_method == "grid-max":
+                flat = normalize_wait(raw.ravel(), method="relative-max")
+                out[objective] = flat.reshape(raw.shape)
+            else:
+                cols = [
+                    normalize_wait(raw[:, v], method=wait_method)
+                    for v in range(n_values)
+                ]
+                out[objective] = np.stack(cols, axis=1) if cols else raw
+        else:
+            out[objective] = normalize_percentage(raw.ravel()).reshape(raw.shape)
+    return out

@@ -1,0 +1,130 @@
+"""Policy ranking rules (paper §4.3, Tables III–IV).
+
+Policies in a risk-analysis plot are ranked lexicographically:
+
+*Best performance* (Table III): (i) maximum performance — higher preferred;
+(ii) minimum volatility — lower preferred; (iii) performance difference —
+lower preferred; (iv) volatility difference — lower preferred; (v) gradient
+of the trend line — preferred order decreasing, increasing, zero.
+
+*Best volatility* (Table IV): volatility considered before performance:
+(i) minimum volatility; (ii) maximum performance; (iii) volatility
+difference; (iv) performance difference; (v) gradient.
+
+A policy without a trend line (all points identical — e.g. the ideal policy
+A of Fig. 1) has gradient ``NA``; it sorts ahead of any gradient since it
+exhibits no dispersion at all.  Note the published Table III contains one
+hand-adjusted pair (policies E and G) that deviates from the stated
+lexicographic order; this module implements the stated rules (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.riskplot import PolicySeries, RiskPlot
+from repro.core.trend import Gradient
+
+#: preferred order of trend gradients — lower sorts first.
+GRADIENT_ORDER = {
+    Gradient.NONE: 0,
+    Gradient.DECREASING: 1,
+    Gradient.INCREASING: 2,
+    Gradient.ZERO: 3,
+}
+
+
+@dataclass(frozen=True)
+class RankedPolicy:
+    """One row of Table III / Table IV."""
+
+    rank: int
+    policy: str
+    max_performance: float
+    min_volatility: float
+    performance_difference: float
+    volatility_difference: float
+    gradient: Gradient
+
+    def as_row(self) -> dict:
+        return {
+            "rank": self.rank,
+            "policy": self.policy,
+            "max_performance": self.max_performance,
+            "min_volatility": self.min_volatility,
+            "performance_difference": self.performance_difference,
+            "volatility_difference": self.volatility_difference,
+            "gradient": self.gradient.value,
+        }
+
+
+def _stats(series: PolicySeries) -> RankedPolicy:
+    return RankedPolicy(
+        rank=0,
+        policy=series.name,
+        max_performance=series.max_performance,
+        min_volatility=series.min_volatility,
+        performance_difference=series.performance_difference,
+        volatility_difference=series.volatility_difference,
+        gradient=series.trend().gradient,
+    )
+
+
+def _performance_key(s: RankedPolicy) -> tuple:
+    return (
+        -s.max_performance,
+        s.min_volatility,
+        s.performance_difference,
+        s.volatility_difference,
+        GRADIENT_ORDER[s.gradient],
+        s.policy,  # final deterministic tie-break
+    )
+
+
+def _volatility_key(s: RankedPolicy) -> tuple:
+    return (
+        s.min_volatility,
+        -s.max_performance,
+        s.volatility_difference,
+        s.performance_difference,
+        GRADIENT_ORDER[s.gradient],
+        s.policy,
+    )
+
+
+def rank_policies(
+    plot: RiskPlot | Sequence[PolicySeries],
+    by: str = "performance",
+) -> list[RankedPolicy]:
+    """Rank the policies of a risk plot.
+
+    Parameters
+    ----------
+    plot:
+        A :class:`RiskPlot` or a sequence of :class:`PolicySeries`.
+    by:
+        ``"performance"`` (Table III rules) or ``"volatility"`` (Table IV).
+    """
+    series = list(plot.series.values()) if isinstance(plot, RiskPlot) else list(plot)
+    if not series:
+        return []
+    if any(not s.points for s in series):
+        raise ValueError("every policy needs at least one risk point to be ranked")
+    key = {"performance": _performance_key, "volatility": _volatility_key}.get(by)
+    if key is None:
+        raise ValueError(f"unknown ranking criterion: {by!r}")
+    stats = sorted((_stats(s) for s in series), key=key)
+    return [
+        RankedPolicy(
+            rank=i + 1,
+            policy=s.policy,
+            max_performance=s.max_performance,
+            min_volatility=s.min_volatility,
+            performance_difference=s.performance_difference,
+            volatility_difference=s.volatility_difference,
+            gradient=s.gradient,
+        )
+        for i, s in enumerate(stats)
+    ]

@@ -1,0 +1,57 @@
+"""Separate risk analysis (paper §4.1, Eqs. 5–6).
+
+For one objective and one scenario (a sweep of n varying values with all
+other settings fixed), the *performance* of a policy is the mean of its n
+normalized results and the *volatility* (the risk measure) is their
+population standard deviation:
+
+.. math::
+
+    \\mu_{sep} = \\frac{1}{n}\\sum_i r_i, \\qquad
+    \\sigma_{sep} = \\sqrt{\\frac{1}{n}\\sum_i r_i^2 - \\mu_{sep}^2}
+
+with each normalized result :math:`0 \\le r_i \\le 1`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeparateRisk:
+    """(performance, volatility) of one objective in one scenario."""
+
+    performance: float
+    volatility: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.performance <= 1.0 + 1e-9):
+            raise ValueError(f"performance out of [0,1]: {self.performance}")
+        if self.volatility < -1e-12:
+            raise ValueError(f"negative volatility: {self.volatility}")
+
+
+def separate_risk(normalized_results: Iterable[float]) -> SeparateRisk:
+    """Compute Eqs. 5–6 over the normalized results of one scenario.
+
+    Raises
+    ------
+    ValueError
+        If the input is empty or any result falls outside [0, 1].
+    """
+    arr = np.asarray(list(normalized_results), dtype=float)
+    if arr.size == 0:
+        raise ValueError("separate risk analysis needs at least one result")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("normalized results must be finite")
+    if arr.min() < -1e-9 or arr.max() > 1.0 + 1e-9:
+        raise ValueError(f"normalized results must lie in [0,1], got {arr!r}")
+    mu = float(arr.mean())
+    # Population variance via E[x^2] - mu^2 (Eq. 6); guard tiny negatives
+    # from floating-point cancellation.
+    var = max(float(np.mean(arr**2) - mu**2), 0.0)
+    return SeparateRisk(performance=mu, volatility=float(np.sqrt(var)))

@@ -1,0 +1,144 @@
+"""Standalone SVG rendering of risk-analysis plots.
+
+A dependency-free vector rendering of a :class:`~repro.core.riskplot.RiskPlot`
+matching the paper's layout: performance on y ∈ [0, 1], volatility on x,
+one marker shape/colour per policy, dashed least-squares trend lines, a
+legend, and gridlines.  The output is a self-contained ``.svg`` that any
+browser or paper pipeline embeds directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.core.riskplot import RiskPlot
+
+#: marker colours cycled per policy (colour-blind-safe palette).
+COLORS = (
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7",
+    "#E69F00", "#56B4E9", "#F0E442", "#000000",
+)
+#: marker shapes cycled per policy.
+SHAPES = ("circle", "square", "diamond", "triangle", "cross", "circle", "square", "diamond")
+
+
+class SvgCanvas:
+    """Minimal SVG document builder."""
+
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+        self._parts: list[str] = []
+
+    def add(self, element: str) -> None:
+        self._parts.append(element)
+
+    def line(self, x1, y1, x2, y2, stroke="#999", width=1.0, dash=None) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.add(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def text(self, x, y, content, size=12, anchor="start", rotate=None) -> None:
+        transform = f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+        self.add(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}"{transform}>'
+            f"{escape(content)}</text>"
+        )
+
+    def marker(self, shape: str, x: float, y: float, color: str, size: float = 5.0) -> None:
+        if shape == "circle":
+            self.add(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{size:.1f}" fill="{color}"/>')
+        elif shape == "square":
+            s = size
+            self.add(
+                f'<rect x="{x - s:.1f}" y="{y - s:.1f}" width="{2 * s:.1f}" '
+                f'height="{2 * s:.1f}" fill="{color}"/>'
+            )
+        elif shape == "diamond":
+            pts = f"{x},{y - size} {x + size},{y} {x},{y + size} {x - size},{y}"
+            self.add(f'<polygon points="{pts}" fill="{color}"/>')
+        elif shape == "triangle":
+            pts = f"{x},{y - size} {x + size},{y + size} {x - size},{y + size}"
+            self.add(f'<polygon points="{pts}" fill="{color}"/>')
+        elif shape == "cross":
+            self.line(x - size, y - size, x + size, y + size, stroke=color, width=2)
+            self.line(x - size, y + size, x + size, y - size, stroke=color, width=2)
+        else:
+            raise ValueError(f"unknown marker shape {shape!r}")
+
+    def render(self) -> str:
+        body = "\n  ".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'  <rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+
+def escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def render_svg(
+    plot: RiskPlot,
+    width: int = 560,
+    height: int = 420,
+    x_max: float = 0.5,
+    margin: int = 56,
+) -> str:
+    """Render a risk plot as a complete SVG document string."""
+    canvas = SvgCanvas(width, height)
+    px0, py0 = margin, height - margin          # plot origin (bottom-left)
+    px1, py1 = width - margin - 90, margin      # top-right (legend gutter)
+
+    def sx(vol: float) -> float:
+        return px0 + (min(vol, x_max) / x_max) * (px1 - px0)
+
+    def sy(perf: float) -> float:
+        return py0 - max(min(perf, 1.0), 0.0) * (py0 - py1)
+
+    # Axes, gridlines, tick labels.
+    for i in range(6):
+        frac = i / 5
+        canvas.line(sx(frac * x_max), py0, sx(frac * x_max), py1, stroke="#e0e0e0")
+        canvas.line(px0, sy(frac), px1, sy(frac), stroke="#e0e0e0")
+        canvas.text(sx(frac * x_max), py0 + 16, f"{frac * x_max:.1f}", size=10, anchor="middle")
+        canvas.text(px0 - 8, sy(frac) + 4, f"{frac:.1f}", size=10, anchor="end")
+    canvas.line(px0, py0, px1, py0, stroke="#333", width=1.5)
+    canvas.line(px0, py0, px0, py1, stroke="#333", width=1.5)
+    canvas.text((px0 + px1) / 2, height - 14, "Volatility (Standard Deviation)",
+                anchor="middle")
+    canvas.text(16, (py0 + py1) / 2, "Performance", anchor="middle", rotate=-90)
+    if plot.title:
+        canvas.text(width / 2, 22, plot.title, size=13, anchor="middle")
+
+    # Series: trend lines first (under the markers), then points, legend.
+    legend_y = py1 + 6
+    for i, (name, series) in enumerate(plot.series.items()):
+        color = COLORS[i % len(COLORS)]
+        shape = SHAPES[i % len(SHAPES)]
+        trend = series.trend()
+        if trend.slope is not None:
+            y_at_0 = trend.predict(0.0)
+            y_at_max = trend.predict(x_max)
+            canvas.line(sx(0.0), sy(y_at_0), sx(x_max), sy(y_at_max),
+                        stroke=color, width=1.0, dash="5,4")
+        for p in series.points:
+            canvas.marker(shape, sx(p.volatility), sy(p.performance), color)
+        canvas.marker(shape, px1 + 18, legend_y, color, size=4)
+        canvas.text(px1 + 28, legend_y + 4, name, size=11)
+        legend_y += 18
+
+    return canvas.render()
+
+
+def save_svg(plot: RiskPlot, path: Union[str, Path], **kwargs) -> Path:
+    """Render and write the plot; returns the path."""
+    path = Path(path)
+    path.write_text(render_svg(plot, **kwargs))
+    return path

@@ -1,0 +1,84 @@
+"""Trend lines over risk-analysis points (paper §4.3).
+
+A policy's points in a risk plot are (volatility, performance) pairs, one
+per scenario.  A least-squares trend line summarises them; its *gradient*
+class feeds the ranking rules:
+
+- ``DECREASING`` — lower volatility at higher performance (preferred),
+- ``INCREASING`` — higher volatility at higher performance,
+- ``ZERO`` — volatility changes with no performance change,
+- ``NONE`` — no trend line (fewer than two distinct points), e.g. an ideal
+  policy whose five scenarios all land on the same point.
+
+The paper plots performance (y) against volatility (x); a "decreasing
+gradient" in its terminology means performance *rises* as volatility
+*falls*, i.e. a negative dy/dx slope.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+#: slopes with |dy/dx| below this count as zero gradient.
+SLOPE_TOLERANCE = 1e-9
+
+
+class Gradient(enum.Enum):
+    NONE = "NA"
+    DECREASING = "decreasing"
+    INCREASING = "increasing"
+    ZERO = "zero"
+
+
+@dataclass(frozen=True)
+class TrendLine:
+    """Least-squares fit ``performance = slope × volatility + intercept``."""
+
+    slope: Optional[float]
+    intercept: Optional[float]
+    gradient: Gradient
+    n_distinct: int
+
+    def predict(self, volatility: float) -> float:
+        if self.slope is None or self.intercept is None:
+            raise ValueError("no trend line was fitted")
+        return self.slope * volatility + self.intercept
+
+
+def fit_trend(points: Sequence[Tuple[float, float]]) -> TrendLine:
+    """Fit a trend line to (volatility, performance) points.
+
+    Duplicate points collapse; fewer than two distinct points yields
+    ``Gradient.NONE`` with no fitted line.  Distinct points sharing one
+    volatility (a vertical stack) yield ``ZERO`` gradient in the paper's
+    sense only when performance is constant; a vertical spread with varying
+    performance has no defined slope and is also classified ``NONE``.
+    A fitted slope of (numerically) zero — performance flat while
+    volatility varies — is the paper's ``ZERO`` gradient.
+    """
+    if len(points) == 0:
+        raise ValueError("need at least one point")
+    distinct = sorted(set((float(v), float(p)) for v, p in points))
+    n_distinct = len(distinct)
+    if n_distinct < 2:
+        return TrendLine(None, None, Gradient.NONE, n_distinct)
+
+    vols = np.array([v for v, _ in distinct])
+    perfs = np.array([p for _, p in distinct])
+    if np.ptp(vols) < SLOPE_TOLERANCE:
+        # Vertical stack: no usable volatility variation.
+        gradient = Gradient.ZERO if np.ptp(perfs) < SLOPE_TOLERANCE else Gradient.NONE
+        return TrendLine(None, None, gradient, n_distinct)
+
+    slope, intercept = np.polyfit(vols, perfs, deg=1)
+    if abs(slope) < SLOPE_TOLERANCE:
+        gradient = Gradient.ZERO
+    elif slope < 0:
+        gradient = Gradient.DECREASING
+    else:
+        gradient = Gradient.INCREASING
+    return TrendLine(float(slope), float(intercept), gradient, n_distinct)

@@ -1,0 +1,107 @@
+"""Weight-sensitivity analysis of the integrated risk analysis.
+
+Paper §3/§4.2: the integrated analysis lets a provider "prioritize
+objectives differently by adjusting the corresponding weight of each
+objective".  The natural follow-up question — *for which weightings does
+my chosen policy stay the best?* — is answered here:
+
+- :func:`simplex_grid` — a deterministic lattice over the weight simplex
+  (all non-negative weightings summing to 1, at a given resolution).
+- :func:`winner_map` — the best-performing policy at every lattice point.
+- :func:`weight_sensitivity` — per-policy share of the simplex it wins,
+  plus whether the equal-weights winner is *robust* (wins a majority).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Mapping, Sequence
+
+from repro.core.integrated import integrated_risk
+from repro.core.objectives import Objective
+from repro.core.separate import SeparateRisk
+
+#: type alias: per-policy separate risks for a fixed scenario/aggregate.
+PolicyRisks = Mapping[str, Mapping[Objective, SeparateRisk]]
+
+
+def simplex_grid(objectives: Sequence[Objective], resolution: int = 4) -> list[dict]:
+    """All weightings with weights in multiples of ``1/resolution``.
+
+    The lattice has C(resolution + k - 1, k - 1) points for k objectives —
+    e.g. 35 points for 4 objectives at resolution 4.
+    """
+    if resolution < 1:
+        raise ValueError("resolution must be at least 1")
+    k = len(objectives)
+    if k == 0:
+        raise ValueError("need at least one objective")
+    points = []
+    # Stars and bars: place k-1 dividers among resolution + k - 1 slots.
+    for dividers in combinations(range(resolution + k - 1), k - 1):
+        counts = []
+        prev = -1
+        for d in dividers:
+            counts.append(d - prev - 1)
+            prev = d
+        counts.append(resolution + k - 2 - prev)
+        points.append(
+            {obj: c / resolution for obj, c in zip(objectives, counts)}
+        )
+    return points
+
+
+def winner_at(
+    risks: PolicyRisks, weights: Mapping[Objective, float]
+) -> str:
+    """The policy with the highest weighted performance (ties: lower
+    volatility, then name)."""
+    scored = []
+    for policy, separate in risks.items():
+        result = integrated_risk(separate, weights)
+        scored.append((-result.performance, result.volatility, policy))
+    scored.sort()
+    return scored[0][2]
+
+
+def winner_map(
+    risks: PolicyRisks, resolution: int = 4
+) -> list[tuple[dict, str]]:
+    """(weights, winner) at every simplex lattice point."""
+    if not risks:
+        raise ValueError("need at least one policy")
+    objectives = list(next(iter(risks.values())).keys())
+    return [
+        (weights, winner_at(risks, weights))
+        for weights in simplex_grid(objectives, resolution)
+    ]
+
+
+@dataclass(frozen=True)
+class WeightSensitivity:
+    """Summary of the winner map."""
+
+    win_share: dict  # policy -> fraction of lattice points won
+    equal_weights_winner: str
+    robust: bool     # equal-weights winner wins a majority of the simplex
+    n_points: int
+
+    def dominant_policy(self) -> str:
+        return max(self.win_share, key=lambda p: (self.win_share[p], p))
+
+
+def weight_sensitivity(risks: PolicyRisks, resolution: int = 4) -> WeightSensitivity:
+    """How sensitive the 'best policy' verdict is to the objective weights."""
+    entries = winner_map(risks, resolution)
+    share: dict[str, float] = {policy: 0.0 for policy in risks}
+    for _, winner in entries:
+        share[winner] += 1.0 / len(entries)
+    objectives = list(next(iter(risks.values())).keys())
+    equal = winner_at(risks, {o: 1.0 / len(objectives) for o in objectives})
+    return WeightSensitivity(
+        win_share=share,
+        equal_weights_winner=equal,
+        robust=share[equal] > 0.5,
+        n_points=len(entries),
+    )

@@ -1,0 +1,111 @@
+"""The two economic models (paper §5.1).
+
+The models differ in exactly two ways:
+
+1. *Who sets the price.*  Commodity market: the provider quotes a cost from
+   its pricing function, and must reject a job whose expected cost exceeds
+   the user's budget.  Bid-based: the user's budget *is* the bid the
+   provider earns for on-time completion.
+2. *Penalty.*  Commodity market: none — the provider keeps charging the
+   quoted price even if the deadline lapses.  Bid-based: the unbounded
+   linear penalty of Fig. 2.
+
+Policies ask the active model two questions: whether a job is economically
+admissible (given the cost the policy would charge), and what utility a
+finished job yields.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.economy.penalty import bounded_utility, linear_utility
+from repro.workload.job import Job
+
+
+class EconomicModel(abc.ABC):
+    """Interface between a policy and the market it operates in."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def admissible(self, job: Job, expected_cost: float) -> bool:
+        """May the provider take this job at this quoted cost?"""
+
+    @abc.abstractmethod
+    def utility(self, job: Job, finish_time: float, quoted_cost: float) -> float:
+        """Utility the provider earns when ``job`` completes at
+        ``finish_time`` having quoted ``quoted_cost`` at acceptance."""
+
+
+class CommodityMarketModel(EconomicModel):
+    """Provider-priced market, no penalties (paper §5.1).
+
+    The provider can only charge up to the user's budget, so any job whose
+    expected cost exceeds its budget is rejected at submission; an accepted
+    job pays the quoted cost regardless of deadline outcome.
+    """
+
+    name = "commodity"
+
+    def admissible(self, job: Job, expected_cost: float) -> bool:
+        return expected_cost <= job.budget
+
+    def utility(self, job: Job, finish_time: float, quoted_cost: float) -> float:
+        # Defensive cap: a quote above budget should have been rejected.
+        return min(quoted_cost, job.budget)
+
+
+class BidBasedModel(EconomicModel):
+    """User-priced (bid) market with unbounded linear penalty (paper §5.1).
+
+    Every job is economically admissible — the bid equals the budget — and
+    the admission decision is purely the policy's (deadline feasibility,
+    slack threshold, …).  Utility is Eq. 9: the full bid when on time,
+    linearly less (without bound) when late.
+    """
+
+    name = "bid"
+
+    def admissible(self, job: Job, expected_cost: float) -> bool:
+        return True
+
+    def utility(self, job: Job, finish_time: float, quoted_cost: float) -> float:
+        return linear_utility(job, finish_time)
+
+
+class BoundedBidModel(BidBasedModel):
+    """Bid-based market with a bounded penalty (sensitivity variant).
+
+    Identical to :class:`BidBasedModel` except the provider's loss on a
+    late job is capped at ``floor_factor × budget`` — the bounded contract
+    form of Irwin et al., useful for studying how much of the bid-model
+    results hinge on the *unbounded* penalty.
+    """
+
+    name = "bid-bounded"
+
+    def __init__(self, floor_factor: float = 1.0) -> None:
+        if floor_factor < 0:
+            raise ValueError("floor factor cannot be negative")
+        self.floor_factor = floor_factor
+
+    def utility(self, job: Job, finish_time: float, quoted_cost: float) -> float:
+        return bounded_utility(job, finish_time, self.floor_factor)
+
+
+_MODELS = {
+    "commodity": CommodityMarketModel,
+    "bid": BidBasedModel,
+    "bid-bounded": BoundedBidModel,
+}
+
+
+def make_model(name: str) -> EconomicModel:
+    """Instantiate an economic model by name (``"commodity"`` or ``"bid"``)."""
+    try:
+        return _MODELS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown economic model {name!r}; choose from {sorted(_MODELS)}"
+        ) from None

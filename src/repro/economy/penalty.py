@@ -1,0 +1,65 @@
+"""The bid-based model's linear penalty function (paper §5.1, Fig. 2).
+
+For every job *i* the provider earns utility
+
+.. math:: u_i = b_i - dy_i \\cdot pr_i                     \\text{(Eq. 9)}
+
+where the delay is measured against the deadline from *submission*:
+
+.. math:: dy_i = \\max(0, (tf_i - tsu_i) - d_i)             \\text{(Eq. 10)}
+
+The penalty is *unbounded*: utility keeps dropping linearly after the
+deadline lapses and turns negative once the delay exceeds
+``budget / penalty_rate``, which is exactly why a bid-based provider must be
+cautious about over-accepting jobs.
+"""
+
+from __future__ import annotations
+
+from repro.workload.job import Job
+
+
+def delay_of(job: Job, finish_time: float) -> float:
+    """Eq. 10 — seconds past the deadline, 0 if the job finished on time."""
+    if finish_time < job.submit_time:
+        raise ValueError(
+            f"job {job.job_id}: finish {finish_time} precedes submission"
+        )
+    return max(0.0, (finish_time - job.submit_time) - job.deadline)
+
+
+def linear_utility(job: Job, finish_time: float) -> float:
+    """Eq. 9 — the provider's utility for a completed job.
+
+    Full budget when on time; linearly decreasing, unbounded below, when
+    late.
+    """
+    return job.budget - delay_of(job, finish_time) * job.penalty_rate
+
+
+def bounded_utility(job: Job, finish_time: float, floor_factor: float = 1.0) -> float:
+    """Linear penalty with a floor (the bounded variant of Irwin et al.).
+
+    Utility decreases linearly after the deadline but never below
+    ``−floor_factor × budget``; with ``floor_factor = 0`` the provider
+    simply forfeits the payment, with 1 it can lose at most the bid again.
+    The paper's experiments use the *unbounded* Fig. 2 form
+    (:func:`linear_utility`); this variant supports sensitivity studies of
+    that choice.
+    """
+    if floor_factor < 0:
+        raise ValueError("floor factor cannot be negative")
+    return max(linear_utility(job, finish_time), -floor_factor * job.budget)
+
+
+def utility_curve(job: Job, finish_times: list[float]) -> list[float]:
+    """Utility at each completion instant — the Fig. 2 series."""
+    return [linear_utility(job, t) for t in finish_times]
+
+
+def breakeven_finish_time(job: Job) -> float:
+    """Completion instant at which utility crosses zero (Fig. 2's x-axis
+    crossing): ``submit + deadline + budget/penalty_rate``."""
+    if job.penalty_rate <= 0:
+        return float("inf")
+    return job.submit_time + job.deadline + job.budget / job.penalty_rate

@@ -1,0 +1,131 @@
+"""Pricing functions for the commodity market model (paper §5.2).
+
+All prices are per second of (estimated) runtime, denominated in the base
+price ``PBase_j`` — $1 per second on every SDSC SP2 node in the paper's
+experiments.  Charges are computed from the runtime *estimate*: the paper
+notes explicitly that over-estimation inflates commodity-market revenue
+because prices are quoted on the estimate.
+
+- Backfilling policies: ``cost = tr × PBase`` (:func:`flat_cost`).
+- Libra: ``cost = γ·tr + δ·tr/d`` — the second term rewards relaxed
+  deadlines (:func:`libra_cost`).
+- Libra+$: per-node price ``P_ij = α·PBase_j + β·PUtil_ij`` with
+  ``PUtil_ij = RESMax_j / RESFree_ij × PBase_j``; the job pays the highest
+  price among its allocated nodes (:func:`libra_dollar_node_price`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.job import Job
+
+#: floor on free resource units so a nearly saturated node quotes a very
+#: high — not infinite — price.
+MIN_FREE_FRACTION = 1e-3
+
+
+@dataclass(frozen=True)
+class PricingParams:
+    """Paper §5.2 experiment constants."""
+
+    pbase: float = 1.0   # $ per second, every node
+    alpha: float = 1.0   # Libra+$ static weight
+    beta: float = 0.3    # Libra+$ dynamic weight
+    gamma: float = 1.0   # Libra runtime factor
+    delta: float = 1.0   # Libra deadline-incentive factor
+
+
+def flat_cost(job: Job, params: PricingParams = PricingParams()) -> float:
+    """Backfiller charge: ``estimate × PBase``."""
+    return job.estimate * params.pbase
+
+
+@dataclass(frozen=True)
+class TimeOfDayPricing:
+    """Variable pricing (paper §5.1: "prices can be flat or variable").
+
+    The base price is multiplied during peak hours — the classic utility
+    tariff.  Quotes are struck at the *submission* hour (the instant the
+    provider examines the request), matching how the flat quote works.
+    """
+
+    pbase: float = 1.0
+    peak_multiplier: float = 2.0
+    peak_start_hour: float = 8.0
+    peak_end_hour: float = 18.0
+
+    def __post_init__(self) -> None:
+        if self.pbase <= 0:
+            raise ValueError("base price must be positive")
+        if self.peak_multiplier < 1.0:
+            raise ValueError("peak multiplier cannot discount below base")
+        if not (0.0 <= self.peak_start_hour < 24.0 and 0.0 <= self.peak_end_hour <= 24.0):
+            raise ValueError("peak hours must lie within the day")
+
+    def is_peak(self, time_seconds: float) -> bool:
+        hour = (time_seconds / 3600.0) % 24.0
+        if self.peak_start_hour <= self.peak_end_hour:
+            return self.peak_start_hour <= hour < self.peak_end_hour
+        return hour >= self.peak_start_hour or hour < self.peak_end_hour
+
+    def price_at(self, time_seconds: float) -> float:
+        """$/second at a wall-clock instant."""
+        return self.pbase * (self.peak_multiplier if self.is_peak(time_seconds) else 1.0)
+
+    def cost(self, job: Job, quote_time: float) -> float:
+        """Charge for ``job`` quoted at ``quote_time``."""
+        return job.estimate * self.price_at(quote_time)
+
+
+def libra_cost(job: Job, params: PricingParams = PricingParams()) -> float:
+    """Libra's static incentive pricing: ``γ·tr + δ·tr/d``.
+
+    ``tr/d`` is the deadline tightness in (0, 1]; a user who grants a more
+    relaxed deadline (small ``tr/d``) pays almost only the runtime term, so
+    the function *encourages longer deadlines* (paper §5.2).
+    """
+    tightness = job.estimate / job.deadline
+    return params.gamma * job.estimate + params.delta * job.estimate * tightness
+
+
+def libra_dollar_node_price(
+    job: Job,
+    node_committed_seconds: float,
+    params: PricingParams = PricingParams(),
+) -> float:
+    """Libra+$ per-node price ``P_ij`` for one second of runtime.
+
+    ``RESMax_j = d_i`` — the processor time node *j* offers over the job's
+    deadline window; ``RESFree_ij = d_i − committed − tr_i`` deducts the
+    processor time already committed to other jobs *within that window*
+    (reservations expiring mid-window release the remainder) and job *i*'s
+    own demand.  ``PUtil = RESMax/RESFree × PBase`` rises as the window
+    saturates, raising the price and throttling demand — the "adaptive"
+    requirement of §5.2.
+    """
+    if node_committed_seconds < 0:
+        raise ValueError("committed seconds cannot be negative")
+    res_max = job.deadline
+    res_free = max(
+        res_max - node_committed_seconds - job.estimate,
+        MIN_FREE_FRACTION * res_max,
+    )
+    putil = params.pbase * res_max / res_free
+    return params.alpha * params.pbase + params.beta * putil
+
+
+def libra_dollar_cost(
+    job: Job,
+    node_committed_seconds: list[float],
+    params: PricingParams = PricingParams(),
+) -> float:
+    """Libra+$ job charge: the highest node price times the estimate
+    (paper: "uses the highest price P_ij among allocated nodes")."""
+    if not node_committed_seconds:
+        raise ValueError("job must be priced over at least one node")
+    price = max(
+        libra_dollar_node_price(job, committed, params)
+        for committed in node_committed_seconds
+    )
+    return price * job.estimate

@@ -1,0 +1,91 @@
+"""Gnuplot export of risk-analysis plots.
+
+The paper's figures are gnuplot scatter plots (performance on y ∈ [0, 1],
+volatility on x, one point style per policy, least-squares trend lines).
+:func:`export_plot` writes one ``<name>.dat`` data file (indexed blocks, one
+per policy) and a ``<name>.gp`` script that reproduces the paper's layout;
+``gnuplot fig3a.gp`` then renders ``fig3a.png`` with no Python involved.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.core.riskplot import RiskPlot
+
+#: gnuplot point types cycled per policy (paper uses distinct glyphs).
+POINT_TYPES = (7, 5, 9, 11, 13, 3, 1, 2)
+
+
+def dat_content(plot: RiskPlot) -> str:
+    """The ``.dat`` file: one double-blank-separated block per policy,
+    columns ``volatility performance  # scenario``."""
+    blocks = []
+    for name, series in plot.series.items():
+        lines = [f"# policy: {name}"]
+        for p in series.points:
+            lines.append(f"{p.volatility:.6f} {p.performance:.6f}  # {p.scenario}")
+        blocks.append("\n".join(lines))
+    return "\n\n\n".join(blocks) + "\n"
+
+
+def gp_content(plot: RiskPlot, dat_name: str, output_name: str, x_max: float = 0.5) -> str:
+    """The ``.gp`` script replicating the paper's axes and styling."""
+    lines = [
+        "set terminal pngcairo size 640,480",
+        f"set output '{output_name}'",
+        f"set title {_quote(plot.title or 'risk analysis plot')}",
+        "set xlabel 'Volatility (Standard Deviation)'",
+        "set ylabel 'Performance'",
+        f"set xrange [0:{x_max:g}]",
+        "set yrange [0:1]",
+        "set key outside right top",
+        "set grid",
+    ]
+    plots = []
+    for i, (name, series) in enumerate(plot.series.items()):
+        pt = POINT_TYPES[i % len(POINT_TYPES)]
+        plots.append(
+            f"'{dat_name}' index {i} using 1:2 with points pt {pt} ps 1.4 "
+            f"title {_quote(name)}"
+        )
+        trend = series.trend()
+        if trend.slope is not None:
+            plots.append(
+                f"{trend.slope:.6f}*x + {trend.intercept:.6f} "
+                f"with lines dt 2 lc {i + 1} notitle"
+            )
+    lines.append("plot \\\n    " + ", \\\n    ".join(plots))
+    return "\n".join(lines) + "\n"
+
+
+def _quote(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+def export_plot(
+    plot: RiskPlot, directory: Union[str, Path], name: str, x_max: float = 0.5
+) -> tuple[Path, Path]:
+    """Write ``<name>.dat`` and ``<name>.gp`` into ``directory``.
+
+    Returns the two paths.  The script references the data file by relative
+    name so the pair is relocatable.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    dat_path = directory / f"{name}.dat"
+    gp_path = directory / f"{name}.gp"
+    dat_path.write_text(dat_content(plot))
+    gp_path.write_text(gp_content(plot, dat_path.name, f"{name}.png", x_max=x_max))
+    return dat_path, gp_path
+
+
+def export_figure(
+    panels: dict[str, RiskPlot], directory: Union[str, Path], prefix: str
+) -> list[tuple[Path, Path]]:
+    """Export every panel of a multi-panel figure (e.g. ``fig3`` → ``fig3a``…)."""
+    return [
+        export_plot(panels[key], directory, f"{prefix}{key}")
+        for key in sorted(panels)
+    ]

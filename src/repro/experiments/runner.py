@@ -1,0 +1,204 @@
+"""Experiment runner: configuration → workload → simulation → risk analysis.
+
+The controlled-comparison discipline of the paper is enforced here: every
+policy evaluated at a given configuration sees the *identical* job list
+(same trace draw, same QoS draw, same estimate interpolation), and the wait
+objective is normalised across exactly the policies being compared.
+
+Runs are cached per ``(config, policy, model)`` within a
+:class:`RunCache`; the default configuration appears in all twelve
+scenarios, so a full grid reuses it eleven times per policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.core.integrated import IntegratedRisk, integrated_risk
+from repro.core.normalize import normalize_runs
+from repro.core.objectives import Objective, ObjectiveSet
+from repro.core.riskplot import RiskPlot
+from repro.core.separate import SeparateRisk, separate_risk
+from repro.economy.models import make_model
+from repro.experiments.scenarios import SCENARIOS, ExperimentConfig, Scenario
+from repro.policies import make_policy
+from repro.service.provider import CommercialComputingService
+from repro.sim.rng import RngStreams
+from repro.workload.estimates import apply_inaccuracy
+from repro.workload.job import Job
+from repro.workload.qos import assign_qos
+from repro.workload.synthetic import SDSC_SP2, generate_trace
+
+
+def build_workload(config: ExperimentConfig) -> list[Job]:
+    """Materialise the job list a configuration describes.
+
+    The base trace depends only on ``(seed, n_jobs)``; the arrival-delay
+    factor rescales inter-arrival gaps (paper §5.3: a factor of 0.1 turns a
+    600 s gap into 60 s, i.e. lower factor = heavier load); QoS parameters
+    and estimate inaccuracy are then layered on deterministically.
+    """
+    streams = RngStreams(seed=config.seed)
+    model = replace(
+        SDSC_SP2,
+        n_jobs=config.n_jobs,
+        max_procs=min(SDSC_SP2.max_procs, config.total_procs),
+    )
+    jobs = generate_trace(model, rng=streams.get("trace"))
+    if config.arrival_delay_factor != 1.0:
+        if config.arrival_delay_factor <= 0:
+            raise ValueError("arrival delay factor must be positive")
+        for job in jobs:
+            job.submit_time *= config.arrival_delay_factor
+    assign_qos(jobs, config.qos_spec(), rng=streams.get("qos"))
+    apply_inaccuracy(jobs, config.inaccuracy_pct)
+    return jobs
+
+
+@dataclass
+class RunCache:
+    """Memo of finished simulation runs keyed by (config, policy, model)."""
+
+    _runs: dict = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def get(self, config: ExperimentConfig, policy: str, model: str):
+        return self._runs.get((config.key(), policy, model))
+
+    def put(self, config: ExperimentConfig, policy: str, model: str, value) -> None:
+        self._runs[(config.key(), policy, model)] = value
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+
+def run_single(
+    config: ExperimentConfig,
+    policy_name: str,
+    model_name: str,
+    cache: Optional[RunCache] = None,
+) -> ObjectiveSet:
+    """Run one policy on one configuration and measure the four objectives."""
+    if cache is not None:
+        cached = cache.get(config, policy_name, model_name)
+        if cached is not None:
+            cache.hits += 1
+            return cached
+        cache.misses += 1
+    jobs = build_workload(config)
+    service = CommercialComputingService(
+        make_policy(policy_name), make_model(model_name), total_procs=config.total_procs
+    )
+    objectives = service.run(jobs).objectives()
+    if cache is not None:
+        cache.put(config, policy_name, model_name, objectives)
+    return objectives
+
+
+def run_scenario(
+    scenario: Scenario,
+    policies: Sequence[str],
+    model_name: str,
+    base: ExperimentConfig,
+    cache: Optional[RunCache] = None,
+    wait_method: str = "grid-max",
+) -> dict[Objective, dict[str, SeparateRisk]]:
+    """Separate risk analysis of every objective for one scenario.
+
+    Runs each policy over the scenario's six values, normalises the raw
+    objective grids (§4.1), and reduces each policy's six normalised results
+    to (performance, volatility) via Eqs. 5–6.
+    """
+    configs = scenario.configs(base)
+    runs = [
+        [run_single(cfg, policy, model_name, cache) for cfg in configs]
+        for policy in policies
+    ]
+    normalized = normalize_runs(runs, wait_method=wait_method)
+    out: dict[Objective, dict[str, SeparateRisk]] = {}
+    for objective in Objective:
+        grid = normalized[objective]
+        out[objective] = {
+            policy: separate_risk(grid[p]) for p, policy in enumerate(policies)
+        }
+    return out
+
+
+@dataclass
+class GridAnalysis:
+    """Separate risk analyses of all objectives × policies × scenarios.
+
+    The raw material of every risk-analysis plot in the paper's §6:
+    ``separate[objective][policy][scenario]`` is a :class:`SeparateRisk`.
+    """
+
+    model: str
+    set_name: str
+    policies: tuple[str, ...]
+    scenarios: tuple[str, ...]
+    separate: dict[Objective, dict[str, dict[str, SeparateRisk]]]
+
+    def separate_plot(self, objective: Objective, title: str = "") -> RiskPlot:
+        """Fig. 3/6-style plot: one objective, one point per scenario."""
+        plot = RiskPlot(title=title or f"{self.model} Set {self.set_name}: {objective.value}")
+        for policy in self.policies:
+            for scenario in self.scenarios:
+                risk = self.separate[objective][policy][scenario]
+                plot.add_point(policy, scenario, risk.volatility, risk.performance)
+        return plot
+
+    def risk_profiles(self):
+        """A priori risk profiles aggregated from this grid (paper §7's
+        follow-on; see :mod:`repro.core.apriori`)."""
+        from repro.core.apriori import build_profiles
+
+        return build_profiles(self.separate)
+
+    def integrated_plot(
+        self,
+        objectives: Sequence[Objective],
+        weights: Optional[dict[Objective, float]] = None,
+        title: str = "",
+    ) -> RiskPlot:
+        """Fig. 4/5/7/8-style plot: a weighted combination of objectives."""
+        names = ", ".join(o.value for o in objectives)
+        plot = RiskPlot(title=title or f"{self.model} Set {self.set_name}: {names}")
+        for policy in self.policies:
+            for scenario in self.scenarios:
+                combined: IntegratedRisk = integrated_risk(
+                    {o: self.separate[o][policy][scenario] for o in objectives},
+                    weights,
+                )
+                plot.add_point(policy, scenario, combined.volatility, combined.performance)
+        return plot
+
+
+def run_grid(
+    policies: Sequence[str],
+    model_name: str,
+    base: ExperimentConfig,
+    set_name: str = "A",
+    scenarios: Sequence[Scenario] = SCENARIOS,
+    cache: Optional[RunCache] = None,
+    wait_method: str = "grid-max",
+) -> GridAnalysis:
+    """Run the full Table VI grid for one economic model and estimate set."""
+    base = base.for_set(set_name)
+    cache = cache if cache is not None else RunCache()
+    separate: dict[Objective, dict[str, dict[str, SeparateRisk]]] = {
+        objective: {policy: {} for policy in policies} for objective in Objective
+    }
+    for scenario in scenarios:
+        result = run_scenario(scenario, policies, model_name, base, cache, wait_method)
+        for objective in Objective:
+            for policy in policies:
+                separate[objective][policy][scenario.name] = result[objective][policy]
+    return GridAnalysis(
+        model=model_name,
+        set_name=set_name,
+        policies=tuple(policies),
+        scenarios=tuple(s.name for s in scenarios),
+        separate=separate,
+    )

@@ -1,0 +1,65 @@
+"""The synthetic eight-policy example of Fig. 1 and Tables II–IV.
+
+The paper introduces the risk-analysis plot with eight hypothetical
+policies (A–H) over five scenarios.  Only Table II's summary statistics and
+the prose survive in print, so the point sets below are reconstructed to
+satisfy *every* published constraint simultaneously:
+
+- the Table II max/min performance and volatility of each policy,
+- the trend-line gradients of Tables III–IV,
+- the prose: A is ideal in all five scenarios; B holds performance 0.9
+  across volatilities (zero gradient); four of C's five points cluster near
+  its best corner while D's spread evenly; E is tight around (0.1–0.3,
+  0.5–0.7); F/G/H have increasing gradients.
+"""
+
+from __future__ import annotations
+
+from repro.core.riskplot import RiskPlot
+
+#: five (volatility, performance) points per policy, one per scenario.
+SAMPLE_POLICY_POINTS: dict[str, list[tuple[float, float]]] = {
+    "A": [(0.0, 1.0)] * 5,
+    "B": [(0.3, 0.9), (0.375, 0.9), (0.45, 0.9), (0.525, 0.9), (0.6, 0.9)],
+    # C: decreasing gradient, four of five points near (0.3, 0.7).
+    "C": [(0.3, 0.7), (0.32, 0.69), (0.35, 0.68), (0.4, 0.66), (1.0, 0.2)],
+    # D: decreasing gradient, evenly spread over the same ranges as C.
+    "D": [(0.3, 0.7), (0.475, 0.575), (0.65, 0.45), (0.825, 0.325), (1.0, 0.2)],
+    "E": [(0.1, 0.7), (0.15, 0.65), (0.2, 0.6), (0.25, 0.55), (0.3, 0.5)],
+    "F": [(0.3, 0.2), (0.4, 0.325), (0.5, 0.45), (0.6, 0.575), (0.7, 0.7)],
+    "G": [(0.3, 0.4), (0.475, 0.475), (0.65, 0.55), (0.825, 0.625), (1.0, 0.7)],
+    "H": [(0.3, 0.2), (0.475, 0.325), (0.65, 0.45), (0.825, 0.575), (1.0, 0.7)],
+}
+
+#: Table II as printed (policy → max/min performance, max/min volatility).
+TABLE_II_PUBLISHED = {
+    "A": (1.0, 1.0, 0.0, 0.0),
+    "B": (0.9, 0.9, 0.6, 0.3),
+    "C": (0.7, 0.2, 1.0, 0.3),
+    "D": (0.7, 0.2, 1.0, 0.3),
+    "E": (0.7, 0.5, 0.3, 0.1),
+    "F": (0.7, 0.2, 0.7, 0.3),
+    "G": (0.7, 0.4, 1.0, 0.3),
+    "H": (0.7, 0.2, 1.0, 0.3),
+}
+
+#: Table IV's published ranking (our mechanical rules reproduce it exactly).
+TABLE_IV_PUBLISHED_ORDER = ["A", "E", "B", "F", "G", "C", "D", "H"]
+
+#: Table III's published ranking.  The paper's stated lexicographic rules
+#: yield A,B,E,G,… (E's minimum volatility 0.1 beats G's 0.3) but the
+#: printed table hand-ranks G third and E fourth; we follow the stated
+#: rules and record the discrepancy in EXPERIMENTS.md.
+TABLE_III_PUBLISHED_ORDER = ["A", "B", "G", "E", "F", "C", "D", "H"]
+TABLE_III_RULES_ORDER = ["A", "B", "E", "G", "F", "C", "D", "H"]
+
+SCENARIO_LABELS = [f"scenario-{i}" for i in range(1, 6)]
+
+
+def sample_risk_plot() -> RiskPlot:
+    """The Fig. 1 sample risk-analysis plot."""
+    plot = RiskPlot(title="Sample risk analysis plot of policies (Fig. 1)")
+    for policy, points in SAMPLE_POLICY_POINTS.items():
+        for label, (volatility, performance) in zip(SCENARIO_LABELS, points):
+            plot.add_point(policy, label, volatility, performance)
+    return plot

@@ -1,0 +1,129 @@
+"""Persistence of experiment results.
+
+Full-scale grids take hours; this module serialises a
+:class:`~repro.experiments.runner.GridAnalysis` to a versioned JSON
+document (and back), and exports per-job outcomes to CSV, so analysis and
+plotting never require re-simulation.
+
+The JSON layout is deliberately flat and diff-friendly::
+
+    {"format": "repro-grid", "version": 1,
+     "model": "bid", "set_name": "B",
+     "policies": [...], "scenarios": [...],
+     "separate": {"SLA": {"Libra": {"workload": [perf, vol], ...}}}}
+"""
+
+from __future__ import annotations
+
+import json
+from io import StringIO
+from pathlib import Path
+from typing import Union
+
+from repro.core.objectives import Objective
+from repro.core.separate import SeparateRisk
+from repro.experiments.runner import GridAnalysis
+from repro.service.provider import ServiceResult
+
+FORMAT = "repro-grid"
+VERSION = 1
+
+
+class StoreError(ValueError):
+    """Raised on malformed or incompatible stored documents."""
+
+
+def grid_to_dict(grid: GridAnalysis) -> dict:
+    """A JSON-ready representation of a grid analysis."""
+    separate = {
+        objective.value: {
+            policy: {
+                scenario: [risk.performance, risk.volatility]
+                for scenario, risk in by_scenario.items()
+            }
+            for policy, by_scenario in grid.separate[objective].items()
+        }
+        for objective in Objective
+    }
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "model": grid.model,
+        "set_name": grid.set_name,
+        "policies": list(grid.policies),
+        "scenarios": list(grid.scenarios),
+        "separate": separate,
+    }
+
+
+def grid_from_dict(doc: dict) -> GridAnalysis:
+    """Rebuild a grid analysis from its JSON representation."""
+    if doc.get("format") != FORMAT:
+        raise StoreError(f"not a {FORMAT} document: format={doc.get('format')!r}")
+    if doc.get("version") != VERSION:
+        raise StoreError(f"unsupported version {doc.get('version')!r}")
+    by_value = {o.value: o for o in Objective}
+    try:
+        separate = {
+            by_value[obj_name]: {
+                policy: {
+                    scenario: SeparateRisk(performance=pair[0], volatility=pair[1])
+                    for scenario, pair in by_scenario.items()
+                }
+                for policy, by_scenario in policies.items()
+            }
+            for obj_name, policies in doc["separate"].items()
+        }
+        return GridAnalysis(
+            model=doc["model"],
+            set_name=doc["set_name"],
+            policies=tuple(doc["policies"]),
+            scenarios=tuple(doc["scenarios"]),
+            separate=separate,
+        )
+    except (KeyError, IndexError, TypeError) as exc:
+        raise StoreError(f"malformed grid document: {exc}") from exc
+
+
+def save_grid(grid: GridAnalysis, path: Union[str, Path]) -> Path:
+    """Write a grid analysis as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(grid_to_dict(grid), indent=1, sort_keys=True))
+    return path
+
+
+def load_grid(path: Union[str, Path]) -> GridAnalysis:
+    """Read a grid analysis saved by :func:`save_grid`."""
+    return grid_from_dict(json.loads(Path(path).read_text()))
+
+
+OUTCOME_COLUMNS = (
+    "job_id", "submit_time", "budget", "accepted", "start_time",
+    "finish_time", "deadline_met", "utility",
+)
+
+
+def outcomes_to_csv(result: ServiceResult) -> str:
+    """Per-job outcomes of one run as CSV text."""
+    out = StringIO()
+    out.write(",".join(OUTCOME_COLUMNS) + "\n")
+    for o in result.outcomes:
+        row = [
+            str(o.job_id),
+            f"{o.submit_time:.6f}",
+            f"{o.budget:.6f}",
+            "1" if o.accepted else "0",
+            "" if o.start_time is None else f"{o.start_time:.6f}",
+            "" if o.finish_time is None else f"{o.finish_time:.6f}",
+            "1" if o.deadline_met else "0",
+            f"{o.utility:.6f}",
+        ]
+        out.write(",".join(row) + "\n")
+    return out.getvalue()
+
+
+def save_outcomes(result: ServiceResult, path: Union[str, Path]) -> Path:
+    """Write per-job outcomes as a CSV file; returns the path."""
+    path = Path(path)
+    path.write_text(outcomes_to_csv(result))
+    return path

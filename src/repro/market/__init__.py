@@ -1,0 +1,31 @@
+"""Multi-provider utility-computing market (paper §3's motivation).
+
+The paper argues that in a free utility-computing market "service users can
+switch to any computing service whenever they want", so "ignoring
+user-centric objectives is likely to result in dwindling number of users,
+loss of reputation and revenue, and finally out-of-business".  This package
+simulates that dynamic directly:
+
+- :mod:`repro.market.user` — users with per-provider satisfaction memory,
+  updated from their own SLA outcomes, choosing providers by softmax over
+  satisfaction;
+- :mod:`repro.market.marketplace` — several
+  :class:`~repro.service.provider.CommercialComputingService` instances on
+  one simulator competing for a shared job stream, with market-share and
+  revenue time series.
+
+It is an *extension* of the paper (none of its figures need it); the
+benchmark ``benchmarks/test_market_extension.py`` demonstrates the §3
+claim quantitatively.
+"""
+
+from repro.market.marketplace import Marketplace, MarketShareSample, ProviderSpec
+from repro.market.user import SatisfactionParams, UserAgent
+
+__all__ = [
+    "UserAgent",
+    "SatisfactionParams",
+    "Marketplace",
+    "ProviderSpec",
+    "MarketShareSample",
+]

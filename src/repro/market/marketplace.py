@@ -1,0 +1,210 @@
+"""The competitive marketplace: several providers, one job stream.
+
+Each arriving job belongs to a user; the user picks a provider by current
+satisfaction, the provider's policy decides the SLA, and the outcome —
+whenever it resolves — feeds back into that user's satisfaction.  Because
+every provider runs on the same simulator, the feedback loop operates *in
+simulated time*: a provider that burns users early loses the later traffic.
+
+Outputs: per-provider submission/acceptance/violation counts, revenue, and
+a market-share time series sampled per submission window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.economy.models import make_model
+from repro.market.user import SatisfactionParams, UserAgent
+from repro.policies import make_policy
+from repro.service.provider import CommercialComputingService
+from repro.service.sla import SLARecord, SLAStatus
+from repro.sim.engine import Simulator
+from repro.sim.events import Priority
+from repro.sim.rng import RngStreams
+from repro.workload.job import Job
+
+
+@dataclass(frozen=True)
+class ProviderSpec:
+    """One competitor: a policy on a market, with its own cluster."""
+
+    name: str
+    policy: str
+    model: str = "bid"
+    total_procs: int = 64
+    policy_kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class MarketShareSample:
+    """Submissions per provider within one sampling window."""
+
+    time: float
+    submissions: dict[str, int]
+
+    def share(self, provider: str) -> float:
+        total = sum(self.submissions.values())
+        return self.submissions.get(provider, 0) / total if total else 0.0
+
+
+@dataclass
+class ProviderStats:
+    submitted: int = 0
+    accepted: int = 0
+    fulfilled: int = 0
+    violated: int = 0
+    rejected: int = 0
+
+
+class Marketplace:
+    """A free utility-computing market (paper §3)."""
+
+    def __init__(
+        self,
+        specs: Sequence[ProviderSpec],
+        n_users: int = 20,
+        params: Optional[SatisfactionParams] = None,
+        seed: int = 0,
+        share_window: float = 50_000.0,
+    ) -> None:
+        if not specs:
+            raise ValueError("a market needs at least one provider")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("provider names must be unique")
+        if n_users < 1:
+            raise ValueError("a market needs at least one user")
+        self.sim = Simulator()
+        self.streams = RngStreams(seed=seed)
+        self.params = params if params is not None else SatisfactionParams()
+        self.providers: dict[str, CommercialComputingService] = {}
+        self.stats: dict[str, ProviderStats] = {}
+        for spec in specs:
+            service = CommercialComputingService(
+                make_policy(spec.policy, **spec.policy_kwargs),
+                make_model(spec.model),
+                total_procs=spec.total_procs,
+                sim=self.sim,
+            )
+            service.observers.append(self._make_observer(spec.name))
+            self.providers[spec.name] = service
+            self.stats[spec.name] = ProviderStats()
+        self.users = [
+            UserAgent(user_id=i, providers=tuple(names), params=self.params)
+            for i in range(n_users)
+        ]
+        self._owner: dict[int, tuple[UserAgent, str]] = {}
+        self.share_window = float(share_window)
+        self.share_samples: list[MarketShareSample] = []
+        self._window_counts: dict[str, int] = {name: 0 for name in names}
+        self._window_start = 0.0
+
+    # -- wiring -------------------------------------------------------------
+    def _make_observer(self, provider: str):
+        def observer(event: str, record: SLARecord) -> None:
+            stats = self.stats[provider]
+            if event == "accepted":
+                stats.accepted += 1
+            elif event == "rejected":
+                stats.rejected += 1
+                self._feedback(provider, record)
+            elif event == "finished":
+                if record.deadline_met:
+                    stats.fulfilled += 1
+                else:
+                    stats.violated += 1
+                self._feedback(provider, record)
+
+        return observer
+
+    def _feedback(self, provider: str, record: SLARecord) -> None:
+        owner = self._owner.get(record.job.job_id)
+        if owner is None:  # pragma: no cover - defensive
+            return
+        user, chosen = owner
+        if chosen == provider:
+            user.observe(provider, record)
+
+    # -- driving -------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> None:
+        """Assign jobs to users round-robin and simulate the market."""
+        rng = self.streams.get("assignment")
+        for job in jobs:
+            user = self.users[int(rng.integers(len(self.users)))]
+            self.sim.schedule_at(
+                job.submit_time, self._arrive, user, job, priority=Priority.ARRIVAL
+            )
+        self.sim.run()
+        self._close_window()
+
+    def _arrive(self, user: UserAgent, job: Job) -> None:
+        provider = user.choose_provider(self.streams.get(f"user-{user.user_id}"))
+        self._owner[job.job_id] = (user, provider)
+        self.stats[provider].submitted += 1
+        self._count_submission(provider)
+        self.providers[provider].submit_now(job)
+
+    def _count_submission(self, provider: str) -> None:
+        while self.sim.now >= self._window_start + self.share_window:
+            self._close_window()
+        self._window_counts[provider] += 1
+
+    def _close_window(self) -> None:
+        if any(self._window_counts.values()):
+            self.share_samples.append(
+                MarketShareSample(
+                    time=self._window_start, submissions=dict(self._window_counts)
+                )
+            )
+        self._window_counts = {name: 0 for name in self.providers}
+        self._window_start += self.share_window
+
+    # -- results -------------------------------------------------------------
+    def market_share(self, provider: str) -> float:
+        """Overall share of submissions won by ``provider``."""
+        total = sum(s.submitted for s in self.stats.values())
+        return self.stats[provider].submitted / total if total else 0.0
+
+    def final_share(self, provider: str, last_windows: int = 3) -> float:
+        """Share over the last sampling windows — the market's verdict."""
+        samples = self.share_samples[-last_windows:]
+        if not samples:
+            return self.market_share(provider)
+        won = sum(s.submissions.get(provider, 0) for s in samples)
+        total = sum(sum(s.submissions.values()) for s in samples)
+        return won / total if total else 0.0
+
+    def revenue(self, provider: str) -> float:
+        return self.providers[provider].ledger.total_utility
+
+    def preferred_counts(self) -> dict[str, int]:
+        """How many users currently prefer each provider."""
+        counts = {name: 0 for name in self.providers}
+        for user in self.users:
+            counts[user.preferred_provider()] += 1
+        return counts
+
+    def summary_rows(self) -> list[dict]:
+        rows = []
+        preferred = self.preferred_counts()
+        for name, stats in self.stats.items():
+            rows.append(
+                {
+                    "provider": name,
+                    "policy": self.providers[name].policy.name,
+                    "submitted": stats.submitted,
+                    "accepted": stats.accepted,
+                    "fulfilled": stats.fulfilled,
+                    "violated": stats.violated,
+                    "rejected": stats.rejected,
+                    "overall_share": self.market_share(name),
+                    "final_share": self.final_share(name),
+                    "revenue": self.revenue(name),
+                    "loyal_users": preferred[name],
+                }
+            )
+        return rows

@@ -1,0 +1,109 @@
+"""Service users with satisfaction memory.
+
+Each user keeps an exponentially weighted satisfaction score per provider,
+updated from the outcomes of their own jobs — the service-management loop
+the paper cites (§2: "customer satisfaction affects customer loyalty, which
+in turn may lead to referrals of new customers").
+
+Outcome scoring mirrors the paper's three user-centric objectives:
+
+- *rejected*: the request wasn't served at all — strong negative,
+- *SLA violated*: accepted but late — the worst outcome (trust broken),
+- *fulfilled*: positive, discounted by how long acceptance kept the user
+  waiting relative to the job's deadline (the wait objective).
+
+Provider choice is a softmax over scores, so a consistently disappointing
+provider loses traffic gradually rather than instantaneously — users still
+probe it occasionally (imperfect information, as in real markets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.service.sla import SLARecord
+
+
+@dataclass(frozen=True)
+class SatisfactionParams:
+    """Scoring and choice behaviour of a user population."""
+
+    #: EWMA memory: weight of the newest outcome.
+    learning_rate: float = 0.3
+    #: score contributions per outcome.
+    fulfilled_reward: float = 1.0
+    rejected_penalty: float = -1.0
+    violated_penalty: float = -2.0
+    #: fraction of the fulfilled reward forfeited when the wait consumed the
+    #: whole deadline window.
+    wait_discount: float = 0.5
+    #: softmax temperature: lower = greedier switching.
+    temperature: float = 0.25
+    #: score every provider starts with (benefit of the doubt).
+    initial_score: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError("learning rate must be in (0, 1]")
+        if self.temperature <= 0.0:
+            raise ValueError("temperature must be positive")
+
+
+@dataclass
+class UserAgent:
+    """One service user in the market."""
+
+    user_id: int
+    providers: tuple[str, ...]
+    params: SatisfactionParams = field(default_factory=SatisfactionParams)
+    scores: dict[str, float] = field(default_factory=dict)
+    history: list[tuple[str, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.providers:
+            raise ValueError(f"user {self.user_id} needs at least one provider")
+        for name in self.providers:
+            self.scores.setdefault(name, self.params.initial_score)
+
+    # -- choice ---------------------------------------------------------------
+    def choose_provider(self, rng: np.random.Generator) -> str:
+        """Softmax draw over current satisfaction scores."""
+        scores = np.array([self.scores[p] for p in self.providers])
+        logits = scores / self.params.temperature
+        logits -= logits.max()  # numerical stability
+        weights = np.exp(logits)
+        probs = weights / weights.sum()
+        return str(rng.choice(list(self.providers), p=probs))
+
+    # -- learning -------------------------------------------------------------
+    def outcome_score(self, record: SLARecord) -> float:
+        """Score one resolved SLA record (see module docstring)."""
+        if not record.accepted:
+            return self.params.rejected_penalty
+        if not record.deadline_met:
+            return self.params.violated_penalty
+        reward = self.params.fulfilled_reward
+        wait = (record.start_time or record.job.submit_time) - record.job.submit_time
+        if record.job.deadline > 0 and wait > 0:
+            fraction = min(wait / record.job.deadline, 1.0)
+            reward -= self.params.wait_discount * reward * fraction
+        return reward
+
+    def observe(self, provider: str, record: SLARecord) -> None:
+        """Fold one outcome into the provider's satisfaction score."""
+        if provider not in self.scores:
+            raise KeyError(f"user {self.user_id} does not know provider {provider!r}")
+        score = self.outcome_score(record)
+        lr = self.params.learning_rate
+        self.scores[provider] = (1.0 - lr) * self.scores[provider] + lr * score
+        kind = (
+            "rejected" if not record.accepted
+            else ("violated" if not record.deadline_met else "fulfilled")
+        )
+        self.history.append((provider, kind))
+
+    def preferred_provider(self) -> str:
+        """The provider this user currently trusts most."""
+        return max(self.providers, key=lambda p: (self.scores[p], p))

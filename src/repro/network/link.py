@@ -1,0 +1,129 @@
+"""A fair-shared network link.
+
+Concurrent transfers divide the link bandwidth equally (processor sharing,
+the standard fluid model of TCP fair sharing).  Progress integrates between
+events; rates change only when a transfer starts or completes, so the
+piecewise integration is exact — the same discipline as
+:class:`repro.cluster.timeshared.TimeSharedCluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle, Priority
+
+#: bytes below this count as delivered.
+SIZE_EPS = 1e-9
+
+
+@dataclass
+class Transfer:
+    """One in-flight transfer."""
+
+    transfer_id: int
+    size_mb: float
+    remaining_mb: float
+    started: float
+    on_complete: Callable[["Transfer", float], None] = field(repr=False, default=None)
+    rate: float = 0.0
+    completion: Optional[EventHandle] = field(repr=False, default=None)
+
+
+class SharedLink:
+    """A link of ``bandwidth_mbps`` MB/s shared fairly, plus a fixed
+    per-transfer ``latency`` before any byte moves."""
+
+    def __init__(
+        self, sim: Simulator, bandwidth_mbps: float, latency: float = 0.0
+    ) -> None:
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency cannot be negative")
+        self.sim = sim
+        self.bandwidth = float(bandwidth_mbps)
+        self.latency = float(latency)
+        self._active: dict[int, Transfer] = {}
+        self._next_id = 1
+        self._last_update = sim.now
+        self.completed_transfers = 0
+        self.total_mb_delivered = 0.0
+
+    # -- public API -----------------------------------------------------------
+    def transfer(
+        self, size_mb: float, on_complete: Callable[[Transfer, float], None]
+    ) -> Transfer:
+        """Begin a transfer now; ``on_complete(transfer, time)`` fires when
+        the last byte lands (after latency + fair-shared transmission)."""
+        if size_mb < 0:
+            raise ValueError("transfer size cannot be negative")
+        record = Transfer(
+            transfer_id=self._next_id,
+            size_mb=float(size_mb),
+            remaining_mb=float(size_mb),
+            started=self.sim.now,
+            on_complete=on_complete,
+        )
+        self._next_id += 1
+        if size_mb <= SIZE_EPS and self.latency == 0.0:
+            # Nothing to move: complete in this very instant (still via an
+            # event so callback ordering stays deterministic).
+            self.sim.schedule(0.0, self._finish, record, priority=Priority.INTERNAL)
+            return record
+        self.sim.schedule(self.latency, self._admit, record, priority=Priority.INTERNAL)
+        return record
+
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def current_rate(self) -> float:
+        """Per-transfer rate right now (MB/s)."""
+        n = len(self._active)
+        return self.bandwidth / n if n else self.bandwidth
+
+    # -- internals --------------------------------------------------------------
+    def _admit(self, record: Transfer) -> None:
+        self._sync()
+        self._active[record.transfer_id] = record
+        self._reschedule()
+
+    def _sync(self) -> None:
+        dt = self.sim.now - self._last_update
+        if dt > 0.0:
+            for t in self._active.values():
+                t.remaining_mb = max(t.remaining_mb - t.rate * dt, 0.0)
+        self._last_update = self.sim.now
+
+    def _reschedule(self) -> None:
+        n = len(self._active)
+        if n == 0:
+            return
+        rate = self.bandwidth / n
+        for t in self._active.values():
+            t.rate = rate
+            if t.completion is not None:
+                t.completion.cancel()
+            eta = t.remaining_mb / rate
+            t.completion = self.sim.schedule(
+                eta, self._complete, t, priority=Priority.COMPLETION
+            )
+
+    def _complete(self, record: Transfer) -> None:
+        self._sync()
+        # This event is authoritative: every rate change cancels and
+        # reschedules completions, so a completion that fires corresponds to
+        # the current rate.  Snap the residual (float round-off can leave
+        # ~1e-9 MB, whose eta underflows the clock resolution).
+        record.remaining_mb = 0.0
+        del self._active[record.transfer_id]
+        record.completion = None
+        self._reschedule()
+        self._finish(record)
+
+    def _finish(self, record: Transfer) -> None:
+        self.completed_transfers += 1
+        self.total_mb_delivered += record.size_mb
+        record.on_complete(record, self.sim.now)

@@ -1,0 +1,80 @@
+"""Resource-management policies evaluated by the paper (Table V).
+
+=============  ==========  =========================  =====================
+Policy         Execution   Primary parameter          Economic models
+=============  ==========  =========================  =====================
+FCFS-BF        space       arrival time               commodity + bid
+SJF-BF         space       runtime (estimate)         commodity
+EDF-BF         space       deadline                   commodity + bid
+Libra          time        deadline                   commodity + bid
+Libra+$        time        deadline + pricing         commodity
+LibraRiskD     time        deadline + delay risk      bid
+FirstReward    space       budget with penalty        bid
+=============  ==========  =========================  =====================
+
+All are non-preemptive.  The three ``*-BF`` policies use EASY backfilling
+with the paper's *generous admission control* (reject a job, at the moment
+it would run, if its deadline has lapsed or its estimate predicts a miss);
+the Libra family uses deadline-proportional time sharing with admission at
+submission; FirstReward uses slack-threshold admission at submission with a
+reward-ordered queue and no backfilling.
+"""
+
+from repro.policies.backfill import BackfillPolicy
+from repro.policies.base import Policy, PolicyError
+from repro.policies.conservative_bf import ConservativeBackfill
+from repro.policies.edf_bf import EDFBackfill
+from repro.policies.fcfs import FCFSPlain
+from repro.policies.fcfs_bf import FCFSBackfill
+from repro.policies.first_reward import FirstReward
+from repro.policies.libra import Libra
+from repro.policies.libra_dollar import LibraDollar
+from repro.policies.libra_riskd import LibraRiskD
+from repro.policies.sjf_bf import SJFBackfill
+
+#: registry used by the experiment harness; keys are the paper's names.
+#: "FCFS" and "Cons-BF" are ablation baselines, not part of Table V.
+POLICIES = {
+    "FCFS-BF": FCFSBackfill,
+    "SJF-BF": SJFBackfill,
+    "EDF-BF": EDFBackfill,
+    "Libra": Libra,
+    "Libra+$": LibraDollar,
+    "LibraRiskD": LibraRiskD,
+    "FirstReward": FirstReward,
+    "FCFS": FCFSPlain,
+    "Cons-BF": ConservativeBackfill,
+}
+
+#: policies examined per economic model (paper Table V).
+COMMODITY_POLICIES = ("FCFS-BF", "SJF-BF", "EDF-BF", "Libra", "Libra+$")
+BID_POLICIES = ("FCFS-BF", "EDF-BF", "Libra", "LibraRiskD", "FirstReward")
+
+
+def make_policy(name: str, **kwargs) -> Policy:
+    """Instantiate a policy by its paper name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; choose from {sorted(POLICIES)}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Policy",
+    "PolicyError",
+    "BackfillPolicy",
+    "ConservativeBackfill",
+    "FCFSPlain",
+    "FCFSBackfill",
+    "SJFBackfill",
+    "EDFBackfill",
+    "Libra",
+    "LibraDollar",
+    "LibraRiskD",
+    "FirstReward",
+    "POLICIES",
+    "COMMODITY_POLICIES",
+    "BID_POLICIES",
+    "make_policy",
+]

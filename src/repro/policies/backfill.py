@@ -1,0 +1,184 @@
+"""EASY backfilling with generous admission control (paper §5.2).
+
+FCFS-BF, SJF-BF and EDF-BF differ only in the queue priority; everything
+else lives here:
+
+- Arriving jobs enter a priority queue; nothing is decided at submission
+  ("new jobs are only examined and accepted prior to execution").
+- Whenever the cluster state changes, the dispatcher (re)sorts the queue,
+  applies the *generous admission control* to each job it examines — reject
+  if (i) the runtime estimate predicts a deadline miss from a start *now*,
+  or (ii) the deadline already lapsed in the queue — plus the commodity
+  budget check, then starts the head job if it fits.
+- If the head does not fit, EASY backfilling computes the head's shadow
+  time and spare processors and starts any lower-priority job that cannot
+  delay that reservation (Mu'alem & Feitelson's rule).
+
+Rejecting a predicted-late candidate during a backfill scan is safe and
+equivalent to rejecting it "at the latest time": ``now`` only grows, so a
+prediction ``now + estimate > deadline`` can never become feasible again.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.cluster.profile import can_backfill, easy_backfill_window
+from repro.cluster.spaceshared import SpaceSharedCluster
+from repro.policies.base import Policy
+from repro.sim.engine import Simulator
+from repro.workload.job import Job
+
+#: numerical slack on deadline feasibility comparisons (seconds).
+TIME_EPS = 1e-9
+
+
+class BackfillPolicy(Policy, abc.ABC):
+    """Shared machinery of the three ``*-BF`` policies.
+
+    Two ablation switches support the paper's design observations:
+
+    - ``admission_control=False`` drops the generous admission control
+      (§5.2 notes such policies "perform much worse, especially when
+      deadlines of jobs are short") — every deadline-infeasible job still
+      runs and misses;
+    - ``backfilling=False`` reduces the policy to plain priority-queue
+      scheduling (strict head-of-queue), isolating EASY's contribution.
+    """
+
+    def __init__(
+        self,
+        admission_control: bool = True,
+        backfilling: bool = True,
+        kill_at_estimate: bool = False,
+        tariff=None,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.admission_control = bool(admission_control)
+        self.backfilling = bool(backfilling)
+        #: optional :class:`repro.economy.pricing.TimeOfDayPricing`
+        #: replacing the flat quote (paper §5.1's "variable price").
+        self.tariff = tariff
+        #: real batch systems terminate a job once its requested time is
+        #: exhausted; the paper instead lets under-estimates run to
+        #: completion (non-preemptive).  This switch enables the real-world
+        #: discipline for the kill-at-estimate ablation.
+        self.kill_at_estimate = bool(kill_at_estimate)
+        self._queue: list[Job] = []
+
+    def make_cluster(self, sim: Simulator, total_procs: int) -> SpaceSharedCluster:
+        return SpaceSharedCluster(sim, total_procs)
+
+    @abc.abstractmethod
+    def priority_key(self, job: Job):
+        """Sort key; the lowest value is the highest-priority job."""
+
+    def expected_cost(self, job: Job) -> float:
+        if self.tariff is not None:
+            # Variable pricing strikes the quote when the provider examines
+            # the request — at execution time for the queue-based policies.
+            return self.tariff.cost(job, self.sim.now)
+        return super().expected_cost(job)
+
+    # -- lifecycle ------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        self._require_bound()
+        self._queue.append(job)
+        self._dispatch()
+
+    def _on_finish(self, job: Job, finish_time: float) -> None:
+        if self.kill_at_estimate and job.runtime > job.estimate + TIME_EPS:
+            self.service.notify_killed(job, finish_time)
+        else:
+            self.service.notify_finished(job, finish_time)
+        self._dispatch()
+
+    # -- admission ----------------------------------------------------------
+    def _rejection_reason(self, job: Job) -> Optional[str]:
+        """Generous admission control, applied when a job is examined for
+        execution (not at submission)."""
+        if self.admission_control:
+            now = self.sim.now
+            if now > job.absolute_deadline + TIME_EPS:
+                return "deadline lapsed while queued"
+            if now + job.estimate > job.absolute_deadline + TIME_EPS:
+                return "runtime estimate predicts deadline miss"
+        admissible, _ = self._budget_ok(job)
+        if not admissible:
+            return "expected cost exceeds budget"
+        return None
+
+    def _start(self, job: Job) -> None:
+        _, cost = self._budget_ok(job)
+        self.service.notify_accepted(job, quoted_cost=cost)
+        self.service.notify_started(job)
+        max_runtime = job.estimate if self.kill_at_estimate else None
+        self.cluster.start(job, self._on_finish, max_runtime=max_runtime)
+
+    # -- the dispatcher ---------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Run the EASY cycle until no further job can start or be rejected."""
+        while True:
+            self._queue.sort(key=self.priority_key)
+
+            # Phase 1: pop rejected/startable jobs off the head.
+            advanced = False
+            while self._queue:
+                head = self._queue[0]
+                reason = self._rejection_reason(head)
+                if reason is not None:
+                    self._queue.pop(0)
+                    self._reject(head, reason)
+                    advanced = True
+                    continue
+                if self.cluster.can_fit(head.procs):
+                    self._queue.pop(0)
+                    self._start(head)
+                    advanced = True
+                    continue
+                break
+            if advanced:
+                continue  # cluster state changed; re-evaluate from scratch
+            if not self._queue or not self.backfilling:
+                return
+
+            # Phase 2: backfill around the (blocked) head job.
+            head = self._queue[0]
+            shadow, spare = easy_backfill_window(
+                self.sim.now,
+                self.cluster.free_procs,
+                self.cluster.releases(),
+                head.procs,
+                self.cluster.total_procs,
+            )
+            for job in list(self._queue[1:]):
+                reason = self._rejection_reason(job)
+                if reason is not None:
+                    self._queue.remove(job)
+                    self._reject(job, reason)
+                    advanced = True
+                    break  # re-sort and recompute the window
+                if can_backfill(
+                    self.sim.now,
+                    self.cluster.free_procs,
+                    job.procs,
+                    job.estimate,
+                    shadow,
+                    spare,
+                ):
+                    self._queue.remove(job)
+                    self._start(job)
+                    advanced = True
+                    break  # cluster changed; recompute the window
+            if not advanced:
+                return
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def queued_jobs(self) -> list[Job]:
+        return sorted(self._queue, key=self.priority_key)

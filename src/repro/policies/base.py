@@ -1,0 +1,71 @@
+"""Policy interface.
+
+A policy is bound to exactly one :class:`CommercialComputingService` run.
+It decides (a) which cluster discipline it executes on, (b) whether to
+accept each submitted SLA and when, and (c) the commodity-market price it
+quotes.  It reports every lifecycle transition back to the service.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.economy.pricing import PricingParams, flat_cost
+from repro.sim.engine import Simulator
+from repro.workload.job import Job
+
+
+class PolicyError(RuntimeError):
+    """Raised on misuse of a policy (e.g. submit before bind)."""
+
+
+class Policy(abc.ABC):
+    """Base class for all resource-management policies."""
+
+    #: the paper's name for the policy (Table V).
+    name: str = "abstract"
+
+    def __init__(self, pricing: Optional[PricingParams] = None) -> None:
+        self.pricing = pricing if pricing is not None else PricingParams()
+        self.service = None
+        self.sim: Optional[Simulator] = None
+        self.cluster = None
+
+    # -- wiring -------------------------------------------------------------
+    @abc.abstractmethod
+    def make_cluster(self, sim: Simulator, total_procs: int):
+        """Build the cluster discipline this policy schedules on."""
+
+    def bind(self, service, sim: Simulator, cluster) -> None:
+        if self.service is not None:
+            raise PolicyError(f"{self.name} is already bound to a service")
+        self.service = service
+        self.sim = sim
+        self.cluster = cluster
+
+    def _require_bound(self) -> None:
+        if self.service is None:
+            raise PolicyError(f"{self.name} must be bound to a service first")
+
+    # -- decisions ------------------------------------------------------------
+    @abc.abstractmethod
+    def submit(self, job: Job) -> None:
+        """Handle a job arrival (called by the service at submit time)."""
+
+    def expected_cost(self, job: Job) -> float:
+        """Commodity-market quote for ``job``; default is flat base pricing."""
+        return flat_cost(job, self.pricing)
+
+    # -- shared helpers ---------------------------------------------------------
+    def _reject(self, job: Job, reason: str) -> None:
+        self.service.notify_rejected(job, reason)
+
+    def _budget_ok(self, job: Job) -> tuple[bool, float]:
+        """Ask the economic model whether the quote fits the budget.
+
+        Returns (admissible, quoted_cost); the quote is recorded on
+        acceptance so commodity settlement charges exactly what was agreed.
+        """
+        cost = self.expected_cost(job)
+        return self.service.economically_admissible(job, cost), cost

@@ -1,0 +1,19 @@
+"""EDF-BF — Earliest Deadline First with EASY backfilling (Table V).
+
+Prioritises the job whose absolute deadline expires soonest.  Later-arriving
+urgent jobs overtake earlier submissions, which is why EDF-BF shows the
+worst wait objective of the three backfillers (paper §6.1).  Flat base
+pricing in the commodity market model.
+"""
+
+from __future__ import annotations
+
+from repro.policies.backfill import BackfillPolicy
+from repro.workload.job import Job
+
+
+class EDFBackfill(BackfillPolicy):
+    name = "EDF-BF"
+
+    def priority_key(self, job: Job):
+        return (job.absolute_deadline, job.submit_time, job.job_id)

@@ -1,0 +1,21 @@
+"""Plain FCFS — no backfilling (ablation baseline).
+
+Strict head-of-queue arrival-order scheduling: processors idle whenever the
+head job cannot fit, even if smaller jobs are waiting behind it.  Not part
+of the paper's Table V; included so the backfilling ablation
+(``benchmarks/test_ablations.py``) can isolate what EASY buys the provider.
+"""
+
+from __future__ import annotations
+
+from repro.policies.fcfs_bf import FCFSBackfill
+
+
+class FCFSPlain(FCFSBackfill):
+    """FCFS without backfilling (still with generous admission control)."""
+
+    name = "FCFS"
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("backfilling", False)
+        super().__init__(**kwargs)

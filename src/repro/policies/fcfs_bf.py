@@ -1,0 +1,19 @@
+"""FCFS-BF — First Come First Serve with EASY backfilling (Table V).
+
+The most widely deployed cluster batch discipline: jobs are prioritised by
+arrival time, the head is guaranteed a reservation, and later jobs may jump
+ahead only if they cannot delay it.  Charges the flat base price
+``estimate × PBase`` in the commodity market model.
+"""
+
+from __future__ import annotations
+
+from repro.policies.backfill import BackfillPolicy
+from repro.workload.job import Job
+
+
+class FCFSBackfill(BackfillPolicy):
+    name = "FCFS-BF"
+
+    def priority_key(self, job: Job):
+        return (job.submit_time, job.job_id)

@@ -1,0 +1,31 @@
+"""LibraRiskD — Libra considering the risk of deadline delay (Table V).
+
+LibraRiskD (Yeo & Buyya, ICPP'06) improves Libra's handling of inaccurate
+runtime estimates with two changes, both on node selection:
+
+1. **Dynamic feasibility.** Instead of Libra's static share commitment
+   (fixed at ``estimate/deadline`` until the job *actually* finishes), a
+   node's load is the sum of its jobs' *currently required* rates —
+   estimated remaining work over time left to deadline.  Jobs that are over-
+   estimated (92 % in the trace) release capacity as they run ahead of their
+   estimates, so LibraRiskD accepts more jobs than Libra under trace
+   estimates.
+2. **Zero-risk node filter.** A node is eligible for a new job only if it
+   has *zero risk of deadline delay*: no job on it has already consumed its
+   estimated work without finishing (a revealed under-estimate, whose true
+   remaining demand is unknown).
+
+Table V examines LibraRiskD in the bid-based model only; for completeness
+it quotes Libra's static price if run in the commodity model.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.timeshared import ShareMode
+from repro.policies.libra import Libra
+
+
+class LibraRiskD(Libra):
+    name = "LibraRiskD"
+    share_mode = ShareMode.DYNAMIC
+    exclude_risky_nodes = True

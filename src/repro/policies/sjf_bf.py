@@ -1,0 +1,19 @@
+"""SJF-BF — Shortest Job First with EASY backfilling (Table V).
+
+Prioritises the job with the smallest runtime *estimate* (the scheduler
+never sees actual runtimes), which minimises queue wait for the examined
+job and gives SJF-BF the best wait objective of the three backfillers
+(paper §6.1).  Flat base pricing in the commodity market model.
+"""
+
+from __future__ import annotations
+
+from repro.policies.backfill import BackfillPolicy
+from repro.workload.job import Job
+
+
+class SJFBackfill(BackfillPolicy):
+    name = "SJF-BF"
+
+    def priority_key(self, job: Job):
+        return (job.estimate, job.submit_time, job.job_id)

@@ -1,0 +1,178 @@
+"""Service monitoring: time series of the provider's operational state.
+
+Paper §3.3 assumes "a commercial computing service has monitoring
+mechanisms to check the progress of existing job executions and adjust
+resources accordingly".  This module is that mechanism's observable half: a
+:class:`ServiceMonitor` attaches to a provider, samples state on every SLA
+transition (and optionally on a fixed cadence), and exposes the series —
+utilisation, queue length, acceptance ratio, cumulative utility — that an
+operations dashboard would plot.
+
+The monitor is pure observation: attaching one never changes scheduling
+outcomes (asserted in the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.service.provider import CommercialComputingService
+from repro.sim.events import Priority
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One observation of the provider's state."""
+
+    time: float
+    utilization: float
+    queue_length: int
+    submitted: int
+    accepted: int
+    fulfilled: int
+    rejected: int
+    cumulative_utility: float
+
+    @property
+    def acceptance_ratio(self) -> float:
+        return self.accepted / self.submitted if self.submitted else 1.0
+
+
+@dataclass
+class TimeSeries:
+    """A named sequence of samples with summary statistics."""
+
+    samples: list[Sample] = field(default_factory=list)
+
+    def times(self) -> np.ndarray:
+        return np.array([s.time for s in self.samples])
+
+    def values(self, attr: str) -> np.ndarray:
+        return np.array([getattr(s, attr) for s in self.samples], dtype=float)
+
+    def mean(self, attr: str) -> float:
+        vals = self.values(attr)
+        return float(vals.mean()) if vals.size else 0.0
+
+    def peak(self, attr: str) -> float:
+        vals = self.values(attr)
+        return float(vals.max()) if vals.size else 0.0
+
+    def time_weighted_mean(self, attr: str) -> float:
+        """Mean weighted by the holding time of each sample (the right
+        average for state variables like utilisation)."""
+        if len(self.samples) < 2:
+            return self.mean(attr)
+        times = self.times()
+        vals = self.values(attr)
+        dt = np.diff(times)
+        total = float(dt.sum())
+        if total <= 0.0:
+            return self.mean(attr)
+        return float(np.sum(vals[:-1] * dt) / total)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class ServiceMonitor:
+    """Samples a provider's state on every SLA transition.
+
+    Parameters
+    ----------
+    service:
+        The provider to observe (the monitor registers itself).
+    cadence:
+        Optional fixed sampling period in simulated seconds; event-driven
+        sampling alone misses long quiet stretches.
+    """
+
+    def __init__(
+        self,
+        service: CommercialComputingService,
+        cadence: Optional[float] = None,
+    ) -> None:
+        self.service = service
+        self.series = TimeSeries()
+        self._counts = {"submitted": 0, "accepted": 0, "fulfilled": 0, "rejected": 0}
+        self._utility = 0.0
+        self._sample_armed = False
+        service.observers.append(self._on_event)
+        if cadence is not None:
+            if cadence <= 0:
+                raise ValueError("cadence must be positive")
+            self._cadence = float(cadence)
+            self.sample()
+            # The first tick fires once the run is underway; each tick
+            # re-arms itself only while other events are pending.
+            service.sim.schedule(self._cadence, self._tick, priority=Priority.MONITOR)
+        else:
+            self._cadence = None
+
+    # -- collection -----------------------------------------------------------
+    def _tick(self) -> None:
+        self.sample()
+        # Stop self-rescheduling once the monitor is the only thing left
+        # alive, otherwise the simulation would never drain.
+        if self.service.sim.pending() > 0:
+            self.service.sim.schedule(
+                self._cadence, self._tick, priority=Priority.MONITOR
+            )
+
+    def _on_event(self, event: str, record) -> None:
+        if event == "accepted":
+            self._counts["submitted"] += 1
+            self._counts["accepted"] += 1
+        elif event == "rejected":
+            self._counts["submitted"] += 1
+            self._counts["rejected"] += 1
+        elif event == "finished":
+            if record.deadline_met:
+                self._counts["fulfilled"] += 1
+            self._utility += record.utility
+        # Sample via a zero-delay MONITOR-priority event so the observation
+        # happens *after* every same-instant state change (the notify_* call
+        # fires mid-transition, before the cluster has been updated).
+        if not self._sample_armed:
+            self._sample_armed = True
+            self.service.sim.schedule(0.0, self._deferred_sample, priority=Priority.MONITOR)
+
+    def _deferred_sample(self) -> None:
+        self._sample_armed = False
+        self.sample()
+
+    def queue_length(self) -> int:
+        policy = self.service.policy
+        return int(getattr(policy, "queue_length", 0))
+
+    def sample(self) -> Sample:
+        """Record (and return) the provider's state right now."""
+        s = Sample(
+            time=self.service.sim.now,
+            utilization=self.service.cluster.utilization(),
+            queue_length=self.queue_length(),
+            submitted=self._counts["submitted"],
+            accepted=self._counts["accepted"],
+            fulfilled=self._counts["fulfilled"],
+            rejected=self._counts["rejected"],
+            cumulative_utility=self._utility,
+        )
+        self.series.samples.append(s)
+        return s
+
+    # -- reporting ------------------------------------------------------------
+    def report(self) -> dict:
+        """Operational summary of the observed run."""
+        return {
+            "samples": len(self.series),
+            "mean_utilization": self.series.time_weighted_mean("utilization"),
+            "peak_utilization": self.series.peak("utilization"),
+            "peak_queue_length": int(self.series.peak("queue_length")),
+            "final_acceptance_ratio": (
+                self.series.samples[-1].acceptance_ratio if self.series.samples else 1.0
+            ),
+            "final_utility": self._utility,
+        }

@@ -1,0 +1,181 @@
+"""The commercial computing service (paper §3, §5).
+
+:class:`CommercialComputingService` owns one simulation run: it schedules
+job arrivals, delegates every admission/scheduling decision to the resource
+management policy, lets the policy's cluster model execute jobs, prices and
+accounts utility through the economic model, and exports the per-job
+outcomes that the objective measurement (Eqs. 1–4) consumes.
+
+The service is policy-agnostic: a policy binds to it, receives ``submit``
+calls, and reports back through ``notify_*`` transitions.  This is the same
+division GridSim uses between its resource entity and its scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.objectives import JobOutcome, ObjectiveSet, compute_objectives
+from repro.economy.models import EconomicModel
+from repro.service.accounting import AccountingLedger
+from repro.service.sla import SLARecord, SLAStatus
+from repro.sim.engine import Simulator
+from repro.sim.events import Priority
+from repro.workload.job import Job
+
+
+@dataclass
+class ServiceResult:
+    """Everything a finished run exposes."""
+
+    policy: str
+    economic_model: str
+    outcomes: list[JobOutcome]
+    records: list[SLARecord] = field(repr=False, default_factory=list)
+    ledger: AccountingLedger = field(repr=False, default_factory=AccountingLedger)
+    sim_time: float = 0.0
+
+    def objectives(self) -> ObjectiveSet:
+        """The four objectives (Eqs. 1–4) of this run."""
+        return compute_objectives(self.outcomes)
+
+
+class CommercialComputingService:
+    """One provider = one policy + one economic model + one cluster.
+
+    Parameters
+    ----------
+    policy:
+        A :class:`repro.policies.base.Policy`; the service builds the
+        cluster the policy asks for and binds them together.
+    economic_model:
+        The market the provider operates in.
+    total_procs:
+        Machine size (the paper's SDSC SP2: 128).
+    """
+
+    def __init__(
+        self,
+        policy,
+        economic_model: EconomicModel,
+        total_procs: int = 128,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.policy = policy
+        self.model = economic_model
+        self.ledger = AccountingLedger()
+        self._records: dict[int, SLARecord] = {}
+        #: callbacks invoked as ``observer(event, record)`` on every SLA
+        #: transition (event ∈ {"rejected", "accepted", "started",
+        #: "finished"}); used by the multi-provider market simulation.
+        self.observers: list = []
+        self.cluster = policy.make_cluster(self.sim, total_procs)
+        policy.bind(service=self, sim=self.sim, cluster=self.cluster)
+
+    def _notify_observers(self, event: str, record: SLARecord) -> None:
+        for observer in self.observers:
+            observer(event, record)
+
+    # -- workload driving ----------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> ServiceResult:
+        """Simulate the full workload and return the outcomes."""
+        for job in jobs:
+            self.register(job)
+            self.sim.schedule_at(
+                job.submit_time, self.policy.submit, job, priority=Priority.ARRIVAL
+            )
+        self.sim.run()
+        self._check_drained()
+        return self.collect()
+
+    def register(self, job: Job) -> SLARecord:
+        """Open an SLA record for a job about to be submitted.
+
+        :meth:`run` does this for a whole batch; external drivers (e.g. the
+        multi-provider marketplace) register a job and then call
+        ``policy.submit(job)`` at the submission instant themselves.
+        """
+        if job.job_id in self._records:
+            raise ValueError(f"duplicate job id {job.job_id}")
+        record = SLARecord(job=job)
+        self._records[job.job_id] = record
+        return record
+
+    def submit_now(self, job: Job) -> None:
+        """Register and submit a job at the current simulation time."""
+        self.register(job)
+        self.policy.submit(job)
+
+    def collect(self) -> ServiceResult:
+        """Snapshot the outcomes recorded so far."""
+        outcomes = [r.outcome() for r in self._records.values()]
+        return ServiceResult(
+            policy=self.policy.name,
+            economic_model=self.model.name,
+            outcomes=outcomes,
+            records=list(self._records.values()),
+            ledger=self.ledger,
+            sim_time=self.sim.now,
+        )
+
+    def _check_drained(self) -> None:
+        stuck = [
+            r.job.job_id
+            for r in self._records.values()
+            if r.status in (SLAStatus.SUBMITTED, SLAStatus.ACCEPTED, SLAStatus.RUNNING)
+        ]
+        if stuck:  # pragma: no cover - indicates a policy bug
+            raise RuntimeError(
+                f"simulation drained with unresolved jobs: {stuck[:10]}"
+                f"{'...' if len(stuck) > 10 else ''}"
+            )
+
+    # -- policy callbacks ------------------------------------------------------
+    def record_of(self, job: Job) -> SLARecord:
+        return self._records[job.job_id]
+
+    def notify_rejected(self, job: Job, reason: str) -> None:
+        """The policy declined the SLA (admission control or budget)."""
+        record = self.record_of(job)
+        record.reject(reason)
+        self._notify_observers("rejected", record)
+
+    def notify_accepted(self, job: Job, quoted_cost: float = 0.0) -> None:
+        """The SLA is committed; ``quoted_cost`` is the commodity-market
+        charge fixed at acceptance (ignored in the bid-based model)."""
+        record = self.record_of(job)
+        record.accept(self.sim.now, quoted_cost)
+        self._notify_observers("accepted", record)
+
+    def notify_started(self, job: Job) -> None:
+        """Execution begins — the end of the paper's *wait* interval."""
+        record = self.record_of(job)
+        record.start(self.sim.now)
+        self._notify_observers("started", record)
+
+    def notify_killed(self, job: Job, finish_time: float) -> None:
+        """The system terminated the job at its estimate limit; the SLA is
+        broken and nothing is charged."""
+        record = self.record_of(job)
+        record.kill(finish_time)
+        self.ledger.record(
+            job.job_id, finish_time, 0.0, description="killed at estimate limit"
+        )
+        self._notify_observers("finished", record)
+
+    def notify_finished(self, job: Job, finish_time: float) -> None:
+        """Execution completed; utility is settled with the economic model."""
+        record = self.record_of(job)
+        utility = self.model.utility(job, finish_time, record.quoted_cost)
+        record.finish(finish_time, utility)
+        self.ledger.record(
+            job.job_id, finish_time, utility,
+            description=f"{self.model.name} settlement",
+        )
+        self._notify_observers("finished", record)
+
+    # -- economics the policy consults -----------------------------------------
+    def economically_admissible(self, job: Job, expected_cost: float) -> bool:
+        return self.model.admissible(job, expected_cost)

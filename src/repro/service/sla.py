@@ -1,0 +1,111 @@
+"""Per-job SLA lifecycle records.
+
+A job submitted to the commercial computing service moves through::
+
+    SUBMITTED ──► REJECTED                      (admission control / budget)
+        │
+        └──────► ACCEPTED ──► RUNNING ──► FINISHED
+
+Acceptance is the SLA commitment instant; the paper's *wait* objective
+measures submission → execution start, and *reliability* measures how many
+ACCEPTED SLAs finish within their deadline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.objectives import JobOutcome
+from repro.workload.job import Job
+
+
+class SLAStatus(enum.Enum):
+    SUBMITTED = "submitted"
+    REJECTED = "rejected"
+    ACCEPTED = "accepted"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass
+class SLARecord:
+    """Lifecycle of one service request."""
+
+    job: Job
+    status: SLAStatus = SLAStatus.SUBMITTED
+    accept_time: Optional[float] = None
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    quoted_cost: float = 0.0
+    utility: float = 0.0
+    reject_reason: Optional[str] = None
+    #: True when the system terminated the job at its runtime-estimate
+    #: limit instead of letting it complete (kill-at-estimate discipline).
+    killed: bool = False
+
+    # -- transitions ---------------------------------------------------------
+    def reject(self, reason: str) -> None:
+        self._require(SLAStatus.SUBMITTED, "reject")
+        self.status = SLAStatus.REJECTED
+        self.reject_reason = reason
+
+    def accept(self, time: float, quoted_cost: float = 0.0) -> None:
+        self._require(SLAStatus.SUBMITTED, "accept")
+        self.status = SLAStatus.ACCEPTED
+        self.accept_time = time
+        self.quoted_cost = quoted_cost
+
+    def start(self, time: float) -> None:
+        self._require(SLAStatus.ACCEPTED, "start")
+        self.status = SLAStatus.RUNNING
+        self.start_time = time
+
+    def finish(self, time: float, utility: float) -> None:
+        self._require(SLAStatus.RUNNING, "finish")
+        self.status = SLAStatus.FINISHED
+        self.finish_time = time
+        self.utility = utility
+
+    def kill(self, time: float) -> None:
+        """The system terminated the job at its estimate limit: the SLA is
+        unfulfilled and the user owes nothing for the incomplete work."""
+        self._require(SLAStatus.RUNNING, "kill")
+        self.status = SLAStatus.FINISHED
+        self.finish_time = time
+        self.utility = 0.0
+        self.killed = True
+
+    def _require(self, expected: SLAStatus, action: str) -> None:
+        if self.status is not expected:
+            raise ValueError(
+                f"job {self.job.job_id}: cannot {action} from status {self.status.value}"
+            )
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def accepted(self) -> bool:
+        return self.status in (SLAStatus.ACCEPTED, SLAStatus.RUNNING, SLAStatus.FINISHED)
+
+    @property
+    def deadline_met(self) -> bool:
+        return (
+            self.status is SLAStatus.FINISHED
+            and not self.killed
+            and self.finish_time is not None
+            and self.finish_time <= self.job.absolute_deadline + 1e-6
+        )
+
+    def outcome(self) -> JobOutcome:
+        """The immutable record the risk analysis consumes."""
+        return JobOutcome(
+            job_id=self.job.job_id,
+            submit_time=self.job.submit_time,
+            budget=self.job.budget,
+            accepted=self.accepted,
+            start_time=self.start_time,
+            finish_time=self.finish_time,
+            deadline_met=self.deadline_met,
+            utility=self.utility,
+        )

@@ -1,0 +1,144 @@
+"""Event-calendar simulator.
+
+The simulator owns a monotonic clock and a binary-heap future event list.
+Events scheduled for the same timestamp are ordered by ``priority`` then by
+insertion sequence, so runs are bit-for-bit reproducible regardless of dict
+ordering or callback registration order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Optional
+
+from repro.sim.events import EventHandle, Priority
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduling into the past or on a corrupted event list."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, fired.append, "a")
+    >>> _ = sim.schedule(2.0, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    5.0
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._running = False
+        self.events_executed = 0
+        self.events_scheduled = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.INTERNAL,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.INTERNAL,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule an event at time NaN")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        handle = EventHandle(float(time), int(priority), self._seq, fn, args)
+        self._seq += 1
+        self.events_scheduled += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event (no-op if it already ran)."""
+        handle.cancel()
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the list is empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the event list was
+        empty.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        handle = heapq.heappop(self._heap)
+        if handle.time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event list corrupted: time went backwards")
+        self._now = handle.time
+        self.events_executed += 1
+        handle.fn(*handle.args)
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the event list drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        With ``until`` set, events at exactly ``until`` are still executed
+        and the clock is advanced to ``until`` even if the list drains early.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_t = self.peek()
+                if next_t is None:
+                    break
+                if until is not None and next_t > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = float(until)
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events in the list."""
+        return sum(1 for h in self._heap if not h.cancelled)

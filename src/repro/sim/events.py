@@ -1,0 +1,56 @@
+"""Event handles and scheduling priorities for the simulation engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class Priority(enum.IntEnum):
+    """Ordering of events that share the same timestamp.
+
+    Lower values run first.  Completions are processed before arrivals so
+    that resources freed at time *t* are visible to jobs arriving at *t* —
+    the convention used by cluster batch schedulers (and GridSim).
+    """
+
+    COMPLETION = 0
+    INTERNAL = 1
+    ARRIVAL = 2
+    MONITOR = 3
+
+
+@dataclass(order=False)
+class EventHandle:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`repro.sim.Simulator.schedule` and can be
+    cancelled with :meth:`repro.sim.Simulator.cancel` (or by calling
+    :meth:`cancel` directly).  A cancelled event stays in the heap but is
+    skipped when popped, which keeps cancellation O(1).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[..., Any]
+    args: tuple = ()
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it."""
+        self.cancelled = True
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return (
+            f"EventHandle(t={self.time:.6g}, prio={self.priority}, "
+            f"seq={self.seq}, {getattr(self.fn, '__name__', self.fn)}, {state})"
+        )

@@ -1,0 +1,84 @@
+"""Calibrating the synthetic workload model to a real trace.
+
+:data:`repro.workload.synthetic.SDSC_SP2` is hand-calibrated to the
+published SDSC SP2 statistics.  For any *other* machine's SWF trace,
+:func:`fit_trace_model` estimates the :class:`TraceModel` parameters by the
+method of moments, so a statistically similar synthetic workload (and
+therefore the entire risk-analysis pipeline) can be generated for any
+machine without redistributing its trace:
+
+- lognormal inter-arrival and runtime parameters from the log-space mean
+  and standard deviation (exact moment matching for the lognormal family);
+- the processor-count exponent from the mean of ``log2(procs)`` (the
+  log-uniform stage's mean is half its upper bound);
+- the power-of-two fraction and over-estimation fraction by counting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.workload.job import Job
+from repro.workload.synthetic import SDSC_SP2, TraceModel, generate_trace, trace_statistics
+
+
+def fit_trace_model(jobs: Sequence[Job], max_procs: int | None = None) -> TraceModel:
+    """Estimate a :class:`TraceModel` from an observed job list.
+
+    Raises ``ValueError`` for traces too small to estimate moments (< 3
+    jobs).  The returned model keeps the observed job count so
+    ``generate_trace(fit_trace_model(jobs))`` produces a same-sized
+    synthetic twin; use ``.scaled(n)`` for other sizes.
+    """
+    if len(jobs) < 3:
+        raise ValueError("need at least 3 jobs to fit a trace model")
+    submits = np.sort([j.submit_time for j in jobs])
+    gaps = np.diff(submits)
+    gaps = gaps[gaps > 0]
+    if gaps.size < 2:
+        raise ValueError("trace has no usable inter-arrival gaps")
+    runtimes = np.array([j.runtime for j in jobs], dtype=float)
+    procs = np.array([j.procs for j in jobs], dtype=float)
+    estimates = np.array([j.trace_estimate for j in jobs], dtype=float)
+
+    observed_max = int(procs.max()) if max_procs is None else int(max_procs)
+    # log2-uniform on [0, u] has mean u/2.
+    proc_exponent = float(np.clip(2.0 * np.mean(np.log2(procs)), 0.1, math.log2(max(observed_max, 2))))
+    pow2 = float(np.mean((procs.astype(np.int64) & (procs.astype(np.int64) - 1)) == 0))
+
+    return replace(
+        SDSC_SP2,
+        n_jobs=len(jobs),
+        mean_interarrival=float(gaps.mean()),
+        interarrival_sigma_log=float(np.std(np.log(gaps))),
+        mean_runtime=float(runtimes.mean()),
+        runtime_sigma_log=float(np.std(np.log(runtimes))),
+        max_procs=observed_max,
+        proc_exponent_max=proc_exponent,
+        power_of_two_fraction=pow2,
+        min_runtime=float(max(runtimes.min(), 1.0)),
+        overestimate_fraction=float(np.mean(estimates > runtimes)),
+    )
+
+
+def calibration_report(jobs: Sequence[Job], seed: int = 0) -> dict:
+    """Fit a model, generate a synthetic twin, and report both sides'
+    statistics plus relative errors — the goodness-of-fit check."""
+    model = fit_trace_model(jobs)
+    twin = generate_trace(model, rng=seed)
+    observed = trace_statistics(list(jobs))
+    synthetic = trace_statistics(twin)
+    errors = {}
+    for key in ("mean_interarrival", "mean_runtime", "mean_procs"):
+        if observed[key] > 0:
+            errors[key] = abs(synthetic[key] - observed[key]) / observed[key]
+    return {
+        "model": model,
+        "observed": observed,
+        "synthetic": synthetic,
+        "relative_errors": errors,
+    }

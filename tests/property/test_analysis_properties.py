@@ -1,0 +1,101 @@
+"""Property-based tests for the analysis layers (ranking, frontier,
+a priori grading)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.apriori import Severity, grade
+from repro.core.frontier import dominates, pareto_frontier
+from repro.core.ranking import rank_policies
+from repro.core.riskplot import RiskPlot
+
+unit = st.floats(0.0, 1.0, allow_nan=False)
+vol = st.floats(0.0, 0.5, allow_nan=False)
+point_lists = st.lists(st.tuples(vol, unit), min_size=1, max_size=6)
+plots = st.dictionaries(
+    st.sampled_from(["p1", "p2", "p3", "p4", "p5"]),
+    point_lists,
+    min_size=1,
+    max_size=5,
+)
+
+
+def build_plot(data) -> RiskPlot:
+    plot = RiskPlot()
+    for policy, points in data.items():
+        for i, (v, p) in enumerate(points):
+            plot.add_point(policy, f"s{i}", v, p)
+    return plot
+
+
+@given(plots)
+@settings(max_examples=120)
+def test_ranking_is_total_and_deterministic(data):
+    plot = build_plot(data)
+    for by in ("performance", "volatility"):
+        ranked = rank_policies(plot, by=by)
+        assert [r.policy for r in ranked] != []
+        assert sorted(r.policy for r in ranked) == sorted(data.keys())
+        assert [r.rank for r in ranked] == list(range(1, len(data) + 1))
+        again = rank_policies(build_plot(data), by=by)
+        assert [r.policy for r in ranked] == [r.policy for r in again]
+
+
+@given(plots)
+@settings(max_examples=120)
+def test_performance_ranking_respects_primary_key(data):
+    ranked = rank_policies(build_plot(data), by="performance")
+    maxima = [r.max_performance for r in ranked]
+    assert maxima == sorted(maxima, reverse=True) or all(
+        a >= b - 1e-12 for a, b in zip(maxima, maxima[1:])
+    )
+
+
+@given(plots)
+@settings(max_examples=120)
+def test_volatility_ranking_respects_primary_key(data):
+    ranked = rank_policies(build_plot(data), by="volatility")
+    minima = [r.min_volatility for r in ranked]
+    assert all(a <= b + 1e-12 for a, b in zip(minima, minima[1:]))
+
+
+points_maps = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.tuples(unit, vol),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(points_maps)
+@settings(max_examples=150)
+def test_frontier_nonempty_and_mutually_nondominated(points):
+    frontier = pareto_frontier(points)
+    assert frontier
+    for x in frontier:
+        for y in frontier:
+            if x != y:
+                assert not dominates(points[x], points[y]) or points[x] == points[y]
+
+
+@given(points_maps)
+@settings(max_examples=150)
+def test_frontier_members_undominated_by_anyone(points):
+    frontier = set(pareto_frontier(points))
+    for name in frontier:
+        assert not any(
+            dominates(points[other], points[name])
+            for other in points
+            if other != name
+        )
+
+
+@given(unit, vol)
+@settings(max_examples=200)
+def test_grade_monotone_in_both_axes(performance, volatility):
+    base = grade(performance, volatility)
+    better_perf = grade(min(performance + 0.2, 1.0), volatility)
+    assert better_perf <= base
+    calmer = grade(performance, max(volatility - 0.1, 0.0))
+    assert calmer <= base
+    assert base in Severity

@@ -1,0 +1,145 @@
+"""Unit tests for the a priori risk analysis (paper §7 follow-on)."""
+
+import pytest
+
+from repro.core.apriori import (
+    Severity,
+    build_profiles,
+    grade,
+    recommend_policy,
+    risk_register,
+)
+from repro.core.objectives import Objective
+from repro.core.separate import SeparateRisk
+
+
+def make_grid():
+    """Two policies, two objectives, two scenarios.
+
+    `steady` is strong everywhere; `erratic` is strong on SLA but collapses
+    with high volatility on reliability when the workload varies.
+    """
+    return {
+        Objective.SLA: {
+            "steady": {
+                "workload": SeparateRisk(0.90, 0.05),
+                "job mix": SeparateRisk(0.88, 0.04),
+            },
+            "erratic": {
+                "workload": SeparateRisk(0.95, 0.10),
+                "job mix": SeparateRisk(0.93, 0.08),
+            },
+        },
+        Objective.RELIABILITY: {
+            "steady": {
+                "workload": SeparateRisk(0.92, 0.03),
+                "job mix": SeparateRisk(0.94, 0.02),
+            },
+            "erratic": {
+                "workload": SeparateRisk(0.40, 0.35),
+                "job mix": SeparateRisk(0.85, 0.10),
+            },
+        },
+    }
+
+
+def test_grade_bands():
+    assert grade(1.0, 0.0) is Severity.LOW
+    assert grade(0.8, 0.2) is Severity.MODERATE
+    assert grade(0.45, 0.15) is Severity.HIGH
+    assert grade(0.4, 0.3) is Severity.CRITICAL
+    # CRITICAL needs BOTH weak performance and real volatility.
+    assert grade(0.1, 0.0) is Severity.HIGH
+
+
+def test_profiles_aggregate_means():
+    profiles = build_profiles(make_grid())
+    steady = profiles["steady"]
+    assert steady.aggregate[Objective.SLA].performance == pytest.approx(0.89)
+    assert steady.aggregate[Objective.SLA].volatility == pytest.approx(0.045)
+
+
+def test_profiles_identify_risk_drivers():
+    profiles = build_profiles(make_grid())
+    erratic = profiles["erratic"]
+    worst = erratic.worst_performance[Objective.RELIABILITY]
+    assert worst.scenario == "workload"
+    assert worst.severity is Severity.CRITICAL
+    assert erratic.highest_volatility[Objective.RELIABILITY].scenario == "workload"
+
+
+def test_profile_overall_and_severity():
+    profiles = build_profiles(make_grid())
+    steady = profiles["steady"]
+    overall = steady.overall()
+    assert 0.88 <= overall.performance <= 0.93
+    assert steady.severity(Objective.SLA) is Severity.LOW
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ValueError):
+        build_profiles({})
+
+
+def test_register_lists_material_exposures_most_severe_first():
+    register = risk_register(make_grid(), minimum=Severity.MODERATE)
+    assert register  # erratic reliability under workload must appear
+    assert register[0].policy == "erratic"
+    assert register[0].objective is Objective.RELIABILITY
+    assert register[0].severity is Severity.CRITICAL
+    severities = [e.severity for e in register]
+    assert severities == sorted(severities, reverse=True)
+
+
+def test_register_minimum_filter():
+    all_entries = risk_register(make_grid(), minimum=Severity.LOW)
+    critical_only = risk_register(make_grid(), minimum=Severity.CRITICAL)
+    assert len(critical_only) <= len(all_entries)
+    assert all(e.severity is Severity.CRITICAL for e in critical_only)
+
+
+def test_register_rows_render():
+    row = risk_register(make_grid())[0].as_row()
+    assert row["severity"] == "CRITICAL"
+    assert "reliability" in row["note"]
+
+
+def test_recommendation_prefers_tolerant_policy():
+    rec = recommend_policy(make_grid(), volatility_tolerance=0.1)
+    # erratic's mean volatility on reliability (0.225) blows the tolerance.
+    assert rec.policy == "steady"
+    assert rec.within_tolerance
+    assert "dominant risk driver" in rec.rationale
+    assert rec.alternatives == ("erratic",)
+
+
+def test_recommendation_falls_back_when_none_qualify():
+    rec = recommend_policy(make_grid(), volatility_tolerance=0.0)
+    assert not rec.within_tolerance
+    assert rec.policy in ("steady", "erratic")
+
+
+def test_recommendation_respects_weights():
+    # All weight on SLA: erratic wins (higher SLA performance).
+    weights = {Objective.SLA: 1.0, Objective.RELIABILITY: 0.0}
+    rec = recommend_policy(make_grid(), weights=weights, volatility_tolerance=1.0)
+    assert rec.policy == "erratic"
+
+
+def test_recommendation_validates_tolerance():
+    with pytest.raises(ValueError):
+        recommend_policy(make_grid(), volatility_tolerance=-0.5)
+
+
+def test_grid_analysis_exposes_profiles():
+    from repro.experiments.runner import run_grid
+    from repro.experiments.scenarios import ExperimentConfig, scenario_by_name
+
+    grid = run_grid(
+        ["FCFS-BF"], "bid",
+        ExperimentConfig(n_jobs=25, total_procs=32), "A",
+        [scenario_by_name("job mix")],
+    )
+    profiles = grid.risk_profiles()
+    assert set(profiles) == {"FCFS-BF"}
+    assert Objective.SLA in profiles["FCFS-BF"].aggregate

@@ -1,0 +1,57 @@
+"""Unit tests for trace-model calibration."""
+
+import pytest
+
+from repro.workload.calibration import calibration_report, fit_trace_model
+from repro.workload.job import Job
+from repro.workload.synthetic import SDSC_SP2, TraceModel, generate_trace
+
+
+def test_roundtrip_recovers_moments():
+    # Generate from a known model, fit, and check the recovered parameters.
+    truth = TraceModel(n_jobs=4000, mean_interarrival=500.0, mean_runtime=2000.0,
+                       max_procs=64, proc_exponent_max=5.0)
+    jobs = generate_trace(truth, rng=0)
+    fitted = fit_trace_model(jobs)
+    assert fitted.n_jobs == 4000
+    assert fitted.mean_interarrival == pytest.approx(500.0, rel=0.1)
+    assert fitted.mean_runtime == pytest.approx(2000.0, rel=0.1)
+    assert fitted.max_procs <= 64
+    assert fitted.proc_exponent_max == pytest.approx(5.0, rel=0.25)
+    assert fitted.overestimate_fraction == pytest.approx(0.92, abs=0.03)
+
+
+def test_fitted_twin_matches_observed_statistics():
+    jobs = generate_trace(SDSC_SP2.scaled(3000), rng=1)
+    report = calibration_report(jobs, seed=2)
+    for key, err in report["relative_errors"].items():
+        assert err < 0.20, f"{key} off by {err:.0%}"
+
+
+def test_small_traces_rejected():
+    jobs = generate_trace(SDSC_SP2.scaled(10), rng=0)
+    with pytest.raises(ValueError):
+        fit_trace_model(jobs[:2])
+
+
+def test_simultaneous_submits_rejected_when_no_gaps():
+    jobs = [
+        Job(job_id=i, submit_time=0.0, runtime=100.0, estimate=100.0, procs=1)
+        for i in range(1, 5)
+    ]
+    with pytest.raises(ValueError):
+        fit_trace_model(jobs)
+
+
+def test_explicit_max_procs_override():
+    jobs = generate_trace(SDSC_SP2.scaled(200), rng=3)
+    fitted = fit_trace_model(jobs, max_procs=256)
+    assert fitted.max_procs == 256
+
+
+def test_fitted_model_is_generatable():
+    jobs = generate_trace(SDSC_SP2.scaled(300), rng=4)
+    model = fit_trace_model(jobs)
+    twin = generate_trace(model.scaled(100), rng=5)
+    assert len(twin) == 100
+    assert all(j.procs <= model.max_procs for j in twin)

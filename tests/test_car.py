@@ -1,0 +1,127 @@
+"""Unit tests for Computation-at-Risk and scheduling metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.car import (
+    bounded_slowdowns,
+    computation_at_risk,
+    jain_fairness,
+    per_user_mean_slowdowns,
+    response_times,
+    slowdowns,
+    user_fairness,
+)
+from repro.core.objectives import JobOutcome
+
+
+def outcome(job_id, submit=0.0, start=0.0, finish=100.0, accepted=True):
+    return JobOutcome(
+        job_id=job_id, submit_time=submit, budget=1.0, accepted=accepted,
+        start_time=None if not accepted else start,
+        finish_time=None if not accepted else finish,
+        deadline_met=True, utility=1.0,
+    )
+
+
+def test_response_times_and_slowdowns():
+    outs = [
+        outcome(1, submit=0.0, start=50.0, finish=150.0),   # resp 150, svc 100
+        outcome(2, submit=0.0, start=0.0, finish=100.0),    # resp 100, svc 100
+        outcome(3, accepted=False),
+    ]
+    assert list(response_times(outs)) == [150.0, 100.0]
+    assert list(slowdowns(outs)) == [1.5, 1.0]
+
+
+def test_bounded_slowdown_floors_tiny_jobs():
+    outs = [outcome(1, submit=0.0, start=99.0, finish=100.0)]  # svc 1s, resp 100
+    plain = slowdowns(outs)[0]
+    bounded = bounded_slowdowns(outs, tau=10.0)[0]
+    assert plain == pytest.approx(100.0)
+    assert bounded == pytest.approx(10.0)  # response / max(1, 10)
+    assert bounded_slowdowns([outcome(1)], tau=10.0)[0] == 1.0  # floor at 1
+    with pytest.raises(ValueError):
+        bounded_slowdowns(outs, tau=0.0)
+
+
+def test_car_quantile_and_premium():
+    outs = [outcome(i, submit=0.0, start=0.0, finish=float(f))
+            for i, f in enumerate([100] * 9 + [1000], start=1)]
+    car = computation_at_risk(outs, metric="makespan", quantile=0.95)
+    assert car.median == pytest.approx(100.0)
+    assert car.value_at_risk > 500.0
+    assert car.risk_premium == pytest.approx(car.value_at_risk - 100.0)
+    assert car.n_jobs == 10
+
+
+def test_car_slowdown_metric():
+    outs = [outcome(1, submit=0.0, start=100.0, finish=200.0)]
+    car = computation_at_risk(outs, metric="slowdown", quantile=0.5)
+    assert car.value_at_risk == pytest.approx(2.0)
+
+
+def test_car_validation():
+    outs = [outcome(1)]
+    with pytest.raises(ValueError):
+        computation_at_risk(outs, metric="latency")
+    with pytest.raises(ValueError):
+        computation_at_risk(outs, quantile=1.0)
+    with pytest.raises(ValueError):
+        computation_at_risk([outcome(1, accepted=False)])
+
+
+def test_car_discriminates_risky_schedules():
+    tight = [outcome(i, finish=100.0 + i) for i in range(1, 21)]
+    risky = [outcome(i, finish=100.0) for i in range(1, 19)] + [
+        outcome(19, finish=5000.0), outcome(20, finish=9000.0)
+    ]
+    car_tight = computation_at_risk(tight, quantile=0.9)
+    car_risky = computation_at_risk(risky, quantile=0.9)
+    assert car_risky.risk_premium > car_tight.risk_premium
+
+
+def test_jain_fairness_bounds():
+    assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+    skewed = jain_fairness([10.0, 0.1, 0.1, 0.1])
+    assert 0.0 < skewed < 0.5
+    assert jain_fairness([0.0, 0.0]) == 1.0
+    with pytest.raises(ValueError):
+        jain_fairness([])
+    with pytest.raises(ValueError):
+        jain_fairness([-1.0])
+
+
+def test_per_user_and_fairness():
+    outs = [
+        outcome(1, submit=0.0, start=0.0, finish=100.0),    # user 1: sd 1.0
+        outcome(2, submit=0.0, start=100.0, finish=200.0),  # user 1: sd 2.0
+        outcome(3, submit=0.0, start=900.0, finish=1000.0), # user 2: sd 10.0
+    ]
+    user_of = {1: 1, 2: 1, 3: 2}
+    per_user = per_user_mean_slowdowns(outs, user_of)
+    assert per_user[1] == pytest.approx(1.5)
+    assert per_user[2] == pytest.approx(10.0)
+    fairness = user_fairness(outs, user_of)
+    assert 0.0 < fairness < 1.0
+    assert user_fairness(outs, {}) is None
+
+
+def test_car_from_real_simulation():
+    from repro.economy.models import make_model
+    from repro.policies import make_policy
+    from repro.service.provider import CommercialComputingService
+    from repro.workload.qos import QoSSpec, assign_qos
+    from repro.workload.synthetic import SDSC_SP2, generate_trace
+
+    jobs = generate_trace(SDSC_SP2.scaled(100), rng=0)
+    assign_qos(jobs, QoSSpec(), rng=0)
+    user_of = {j.job_id: j.extra["user_id"] for j in jobs}
+    service = CommercialComputingService(
+        make_policy("FCFS-BF"), make_model("bid"), total_procs=128
+    )
+    result = service.run(jobs)
+    car = computation_at_risk(result.outcomes, "slowdown", 0.9)
+    assert car.value_at_risk >= 1.0
+    fairness = user_fairness(result.outcomes, user_of)
+    assert fairness is None or 0.0 < fairness <= 1.0

@@ -1,0 +1,132 @@
+"""Unit tests for workload cleaning and shaping filters."""
+
+import pytest
+
+from repro.workload.cleaning import (
+    cap_estimates,
+    filter_by_procs,
+    filter_span,
+    offered_load,
+    remove_flurries,
+    scale_load,
+    take_last,
+)
+from repro.workload.job import Job
+
+
+def make_job(job_id, submit=0.0, runtime=100.0, procs=1, user=None, estimate=None):
+    job = Job(job_id=job_id, submit_time=submit, runtime=runtime,
+              estimate=estimate or runtime, procs=procs)
+    if user is not None:
+        job.extra["user_id"] = user
+    return job
+
+
+def test_take_last_selects_and_rebases():
+    jobs = [make_job(i, submit=float(i * 10)) for i in range(1, 6)]
+    kept = take_last(jobs, 2)
+    assert [j.job_id for j in kept] == [4, 5]
+    assert kept[0].submit_time == 0.0
+    assert kept[1].submit_time == 10.0
+
+
+def test_take_last_zero_and_negative():
+    jobs = [make_job(1)]
+    assert take_last(jobs, 0) == []
+    with pytest.raises(ValueError):
+        take_last(jobs, -1)
+
+
+def test_filter_by_procs_drops_wide_jobs():
+    jobs = [make_job(1, procs=4), make_job(2, procs=64)]
+    assert [j.job_id for j in filter_by_procs(jobs, 32)] == [1]
+    with pytest.raises(ValueError):
+        filter_by_procs(jobs, 0)
+
+
+def test_filter_span_half_open():
+    jobs = [make_job(i, submit=float(i * 100)) for i in range(5)]
+    kept = filter_span(jobs, 100.0, 300.0)
+    assert [j.job_id for j in kept] == [1, 2]
+    with pytest.raises(ValueError):
+        filter_span(jobs, 10.0, 5.0)
+
+
+def test_flurry_removal_caps_user_bursts():
+    burst = [make_job(i, submit=float(i), user=7) for i in range(1, 31)]
+    other = [make_job(100, submit=15.0, user=8)]
+    kept = remove_flurries(burst + other, max_burst=10, window=3600.0)
+    user7 = [j for j in kept if j.extra.get("user_id") == 7]
+    assert len(user7) == 10
+    assert any(j.job_id == 100 for j in kept)  # other users untouched
+
+
+def test_flurry_window_slides():
+    # 5 jobs per hour: never more than max_burst within the window.
+    jobs = [make_job(i, submit=i * 800.0, user=1) for i in range(1, 20)]
+    kept = remove_flurries(jobs, max_burst=5, window=3600.0)
+    assert len(kept) == len(jobs)
+
+
+def test_flurry_keeps_anonymous_jobs():
+    jobs = [make_job(i, submit=0.0) for i in range(1, 50)]
+    assert len(remove_flurries(jobs, max_burst=2)) == len(jobs)
+
+
+def test_flurry_validation():
+    with pytest.raises(ValueError):
+        remove_flurries([], max_burst=0)
+    with pytest.raises(ValueError):
+        remove_flurries([], window=0.0)
+
+
+def test_cap_estimates():
+    jobs = [make_job(1, runtime=100.0, estimate=5000.0)]
+    cap_estimates(jobs, 3600.0)
+    assert jobs[0].estimate == 3600.0
+    assert jobs[0].trace_estimate == 3600.0
+    with pytest.raises(ValueError):
+        cap_estimates(jobs, 0.0)
+
+
+def test_scale_load_compresses_arrivals():
+    jobs = [make_job(1, submit=0.0), make_job(2, submit=100.0)]
+    scale_load(jobs, 0.25)
+    assert jobs[1].submit_time == 25.0
+    with pytest.raises(ValueError):
+        scale_load(jobs, 0.0)
+
+
+def test_offered_load_demand_ratio():
+    # Two 100s 4-proc jobs back to back on an 8-proc machine over 200s:
+    # work = 800, capacity = 1600 -> ratio 0.5.
+    jobs = [make_job(1, submit=0.0, runtime=100.0, procs=4),
+            make_job(2, submit=100.0, runtime=100.0, procs=4)]
+    profile = offered_load(jobs, total_procs=8)
+    assert profile.demand_ratio == pytest.approx(0.5)
+    assert profile.peak_concurrency == 4
+    assert profile.span_seconds == pytest.approx(200.0)
+
+
+def test_offered_load_overlap_peak():
+    jobs = [make_job(1, submit=0.0, runtime=100.0, procs=4),
+            make_job(2, submit=50.0, runtime=100.0, procs=4)]
+    profile = offered_load(jobs, total_procs=4)
+    assert profile.peak_concurrency == 8
+    assert profile.demand_ratio > 1.0  # overload
+
+
+def test_offered_load_empty_and_validation():
+    assert offered_load([], 8).demand_ratio == 0.0
+    with pytest.raises(ValueError):
+        offered_load([], 0)
+
+
+def test_swf_parser_populates_user_ids():
+    from repro.workload.swf import parse_swf_text
+
+    text = "1 0 0 100 2 -1 -1 2 200 -1 1 42 9 -1 3 -1 -1 -1\n"
+    (job,) = parse_swf_text(text)
+    assert job.extra["user_id"] == 42
+    assert job.extra["group_id"] == 9
+    assert job.extra["queue"] == 3

@@ -1,0 +1,83 @@
+"""Unit tests for the runtime-estimate inaccuracy model."""
+
+import numpy as np
+import pytest
+
+from repro.workload.estimates import (
+    apply_inaccuracy,
+    inaccuracy_statistics,
+    synthesize_trace_estimates,
+)
+from repro.workload.synthetic import SDSC_SP2, generate_trace
+
+
+def test_zero_inaccuracy_means_exact_estimates():
+    jobs = generate_trace(SDSC_SP2.scaled(200), rng=0)
+    apply_inaccuracy(jobs, 0.0)
+    assert all(j.estimate == pytest.approx(j.runtime) for j in jobs)
+
+
+def test_full_inaccuracy_restores_trace_estimates():
+    jobs = generate_trace(SDSC_SP2.scaled(200), rng=0)
+    apply_inaccuracy(jobs, 100.0)
+    assert all(j.estimate == pytest.approx(j.trace_estimate) for j in jobs)
+
+
+def test_interpolation_is_linear():
+    jobs = generate_trace(SDSC_SP2.scaled(50), rng=0)
+    apply_inaccuracy(jobs, 50.0)
+    for j in jobs:
+        assert j.estimate == pytest.approx(j.runtime + 0.5 * (j.trace_estimate - j.runtime))
+
+
+def test_inaccuracy_bounds_checked():
+    jobs = generate_trace(SDSC_SP2.scaled(5), rng=0)
+    with pytest.raises(ValueError):
+        apply_inaccuracy(jobs, -1.0)
+    with pytest.raises(ValueError):
+        apply_inaccuracy(jobs, 101.0)
+
+
+def test_reapplication_is_idempotent_per_level():
+    jobs = generate_trace(SDSC_SP2.scaled(50), rng=0)
+    apply_inaccuracy(jobs, 60.0)
+    first = [j.estimate for j in jobs]
+    apply_inaccuracy(jobs, 0.0)
+    apply_inaccuracy(jobs, 60.0)
+    assert first == [j.estimate for j in jobs]
+
+
+def test_synthesized_split_matches_fraction():
+    rng = np.random.default_rng(0)
+    runtimes = np.full(5000, 1000.0)
+    estimates = synthesize_trace_estimates(runtimes, rng, overestimate_fraction=0.92)
+    over = np.mean(estimates > runtimes)
+    assert over == pytest.approx(0.92, abs=0.02)
+    assert np.all(estimates > 0)
+
+
+def test_synthesized_under_estimates_bounded():
+    rng = np.random.default_rng(1)
+    runtimes = np.full(2000, 1000.0)
+    estimates = synthesize_trace_estimates(
+        runtimes, rng, overestimate_fraction=0.0, under_low=0.3, under_high=0.8
+    )
+    ratios = estimates / runtimes
+    assert ratios.min() >= 0.3
+    assert ratios.max() <= 0.8
+
+
+def test_invalid_fraction_raises():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        synthesize_trace_estimates(np.ones(3), rng, overestimate_fraction=1.5)
+
+
+def test_statistics_report():
+    jobs = generate_trace(SDSC_SP2.scaled(500), rng=0)
+    apply_inaccuracy(jobs, 100.0)
+    stats = inaccuracy_statistics(jobs)
+    assert stats["n"] == 500
+    assert stats["over_fraction"] + stats["under_fraction"] + stats["exact_fraction"] == pytest.approx(1.0)
+    assert stats["over_fraction"] == pytest.approx(0.92, abs=0.05)
+    assert inaccuracy_statistics([]) == {"n": 0}

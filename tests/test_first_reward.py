@@ -1,0 +1,117 @@
+"""Unit tests for the FirstReward policy."""
+
+import pytest
+
+from repro.economy.models import make_model
+from repro.policies.first_reward import FirstReward
+from repro.service.provider import CommercialComputingService
+from repro.workload.job import Job
+
+
+def make_job(job_id, submit=0.0, runtime=100.0, procs=1, deadline=1e6,
+             budget=1000.0, pr=1.0):
+    return Job(job_id=job_id, submit_time=submit, runtime=runtime,
+               estimate=runtime, procs=procs, deadline=deadline,
+               budget=budget, penalty_rate=pr)
+
+
+def run(policy, jobs, procs=4):
+    svc = CommercialComputingService(policy, make_model("bid"), total_procs=procs)
+    result = svc.run(jobs)
+    return {o.job_id: o for o in result.outcomes}
+
+
+def test_present_value_discounts_over_runtime():
+    policy = FirstReward(discount_rate=0.01)
+    job = make_job(1, runtime=100.0, budget=1000.0)
+    assert policy.present_value(job) == pytest.approx(1000.0 / (1.0 + 1.0))
+
+
+def test_accepts_profitable_job_on_idle_cluster():
+    out = run(FirstReward(slack_threshold=25.0), [make_job(1)])
+    assert out[1].accepted
+    assert out[1].start_time == 0.0
+
+
+def test_slack_threshold_rejects_low_value_jobs():
+    # PV = 100/(1+1) = 50; slack = 50/pr = 50/3 < 25 -> reject.
+    out = run(FirstReward(slack_threshold=25.0), [make_job(1, budget=100.0, pr=3.0)])
+    assert not out[1].accepted
+
+
+def test_outstanding_penalties_raise_opportunity_cost():
+    # Alone, job 2 would pass; with job 1's penalty outstanding it fails:
+    # cost = pr_1 * RPT_2 = 5 * 100 = 500 > PV_2.
+    jobs = [
+        make_job(1, runtime=1000.0, procs=4, budget=1e6, pr=5.0),
+        make_job(2, submit=1.0, runtime=100.0, budget=800.0, pr=1.0),
+    ]
+    out = run(FirstReward(slack_threshold=25.0), jobs)
+    assert out[1].accepted
+    assert not out[2].accepted
+
+
+def test_risk_aversion_monotone_in_threshold():
+    jobs = [make_job(i, submit=float(i), budget=300.0, pr=2.0) for i in range(1, 6)]
+    lenient = run(FirstReward(slack_threshold=0.0), [j.clone() for j in jobs])
+    strict = run(FirstReward(slack_threshold=80.0), [j.clone() for j in jobs])
+    accepted_lenient = sum(o.accepted for o in lenient.values())
+    accepted_strict = sum(o.accepted for o in strict.values())
+    assert accepted_strict <= accepted_lenient
+
+
+def test_queue_ordered_by_reward_density():
+    # Cluster busy until t=100; then the highest reward/RPT job runs first.
+    jobs = [
+        make_job(1, runtime=100.0, procs=4, budget=1000.0, pr=0.1),
+        make_job(2, submit=1.0, runtime=100.0, procs=4, budget=500.0, pr=0.1),
+        make_job(3, submit=2.0, runtime=100.0, procs=4, budget=5000.0, pr=0.1),
+    ]
+    out = run(FirstReward(slack_threshold=0.0), jobs)
+    assert out[3].start_time == 100.0  # jumped ahead of job 2
+    assert out[2].start_time == 200.0
+
+
+def test_no_backfilling_head_blocks_queue():
+    # Head needs 4 procs; a 1-proc job behind it may NOT start although
+    # processors are free (FirstReward has no backfilling).
+    jobs = [
+        make_job(1, runtime=100.0, procs=2, budget=1000.0, pr=0.1),
+        make_job(2, submit=1.0, runtime=100.0, procs=4, budget=9000.0, pr=0.1),
+        make_job(3, submit=2.0, runtime=10.0, procs=1, budget=100.0, pr=0.1),
+    ]
+    out = run(FirstReward(slack_threshold=0.0), jobs)
+    assert out[2].start_time == 100.0
+    assert out[3].start_time >= 200.0  # waited behind the head
+
+
+def test_accept_time_is_submission_time():
+    policy = FirstReward(slack_threshold=0.0)
+    svc = CommercialComputingService(policy, make_model("bid"), total_procs=4)
+    jobs = [
+        make_job(1, runtime=100.0, procs=4, budget=1000.0, pr=0.1),
+        make_job(2, submit=5.0, runtime=100.0, procs=4, budget=1000.0, pr=0.1),
+    ]
+    result = svc.run(jobs)
+    rec2 = next(r for r in result.records if r.job.job_id == 2)
+    assert rec2.accept_time == 5.0       # examined immediately at submission
+    assert rec2.start_time == 100.0      # but waits for processors
+
+
+def test_zero_penalty_rate_gets_infinite_slack():
+    policy = FirstReward(slack_threshold=1e6)
+    job = make_job(1, pr=0.0)
+    assert policy_slack(policy, job) > 1e6
+
+
+def policy_slack(policy, job):
+    # slack() needs a bound cluster for the outstanding set; bind a dummy.
+    svc = CommercialComputingService(policy, make_model("bid"), total_procs=4)
+    return policy.slack(job)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        FirstReward(alpha=1.5)
+    with pytest.raises(ValueError):
+        FirstReward(discount_rate=-0.1)

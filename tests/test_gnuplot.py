@@ -1,0 +1,62 @@
+"""Unit tests for the gnuplot exporter."""
+
+from repro.core.riskplot import RiskPlot
+from repro.experiments.gnuplot import dat_content, export_figure, export_plot, gp_content
+
+
+def make_plot():
+    plot = RiskPlot(title="Fig. test — Set A: wait")
+    plot.add_point("FCFS-BF", "workload", 0.1, 0.8)
+    plot.add_point("FCFS-BF", "job mix", 0.2, 0.6)
+    plot.add_point("Libra", "workload", 0.0, 1.0)
+    plot.add_point("Libra", "job mix", 0.0, 1.0)
+    return plot
+
+
+def test_dat_blocks_per_policy():
+    dat = dat_content(make_plot())
+    assert "# policy: FCFS-BF" in dat
+    assert "# policy: Libra" in dat
+    assert "0.100000 0.800000" in dat
+    # Gnuplot index separation: two blank lines between blocks.
+    assert "\n\n\n" in dat
+
+
+def test_gp_script_structure():
+    plot = make_plot()
+    gp = gp_content(plot, "x.dat", "x.png")
+    assert "set output 'x.png'" in gp
+    assert "set xrange [0:0.5]" in gp
+    assert "set yrange [0:1]" in gp
+    assert "'x.dat' index 0" in gp
+    assert "'x.dat' index 1" in gp
+    assert "title 'FCFS-BF'" in gp
+
+
+def test_trend_lines_only_for_fitted_series():
+    plot = make_plot()
+    gp = gp_content(plot, "x.dat", "x.png")
+    # FCFS-BF has a fitted trend (two distinct points); Libra (one distinct
+    # point, the ideal corner) must not contribute a line.
+    assert gp.count("with lines dt 2") == 1
+
+
+def test_export_writes_relocatable_pair(tmp_path):
+    dat, gp = export_plot(make_plot(), tmp_path, "figX")
+    assert dat.exists() and gp.exists()
+    assert "'figX.dat'" in gp.read_text()  # relative reference
+
+
+def test_export_figure_all_panels(tmp_path):
+    panels = {"a": make_plot(), "b": make_plot()}
+    paths = export_figure(panels, tmp_path, "fig9")
+    assert len(paths) == 2
+    assert (tmp_path / "fig9a.gp").exists()
+    assert (tmp_path / "fig9b.dat").exists()
+
+
+def test_title_quoting():
+    plot = RiskPlot(title="provider's view")
+    plot.add_point("p", "s", 0.1, 0.5)
+    gp = gp_content(plot, "d.dat", "o.png")
+    assert "'provider''s view'" in gp

@@ -1,0 +1,140 @@
+"""Unit tests for heterogeneous space-shared clusters and bounded penalties."""
+
+import pytest
+
+from repro.cluster.node import REFERENCE_RATING, Node
+from repro.cluster.spaceshared import SpaceSharedCluster
+from repro.economy.models import BoundedBidModel, make_model
+from repro.economy.penalty import bounded_utility, linear_utility
+from repro.sim import Simulator
+from repro.workload.job import Job
+
+
+def make_job(job_id=1, runtime=100.0, procs=1, submit=0.0, deadline=1e6,
+             budget=100.0, pr=1.0):
+    return Job(job_id=job_id, submit_time=submit, runtime=runtime,
+               estimate=runtime, procs=procs, deadline=deadline,
+               budget=budget, penalty_rate=pr)
+
+
+# -- node speed factors -------------------------------------------------------
+
+def test_node_speed_factor():
+    assert Node(0).speed_factor == 1.0
+    assert Node(1, spec_rating=2 * REFERENCE_RATING).speed_factor == 2.0
+    with pytest.raises(ValueError):
+        Node(2, spec_rating=0.0)
+
+
+# -- heterogeneous execution -----------------------------------------------------
+
+def hetero_cluster(sim, ratings):
+    return SpaceSharedCluster(sim, node_ratings=[r * REFERENCE_RATING for r in ratings])
+
+
+def test_fast_node_halves_runtime():
+    sim = Simulator()
+    cluster = hetero_cluster(sim, [2.0])
+    done = []
+    cluster.start(make_job(runtime=100.0), lambda j, t: done.append(t))
+    sim.run()
+    assert done == [pytest.approx(50.0)]
+
+
+def test_gang_runs_at_slowest_allocated_node():
+    sim = Simulator()
+    cluster = hetero_cluster(sim, [2.0, 1.0])
+    done = []
+    cluster.start(make_job(runtime=100.0, procs=2), lambda j, t: done.append(t))
+    sim.run()
+    assert done == [pytest.approx(100.0)]
+
+
+def test_fastest_free_nodes_allocated_first():
+    sim = Simulator()
+    cluster = hetero_cluster(sim, [1.0, 4.0, 2.0])
+    record = cluster.start(make_job(runtime=100.0, procs=1), lambda j, t: None)
+    assert record.speed == pytest.approx(4.0)
+    record2 = cluster.start(make_job(2, runtime=100.0, procs=1), lambda j, t: None)
+    assert record2.speed == pytest.approx(2.0)
+
+
+def test_nodes_returned_to_free_pool():
+    sim = Simulator()
+    cluster = hetero_cluster(sim, [1.0, 4.0])
+    done = []
+    cluster.start(make_job(runtime=100.0, procs=1), lambda j, t: done.append(t))
+    sim.run()
+    # The fast node is free again: a new job gets speed 4 once more.
+    record = cluster.start(make_job(2, runtime=100.0, procs=1), lambda j, t: None)
+    assert record.speed == pytest.approx(4.0)
+
+
+def test_estimated_finish_accounts_for_speed():
+    sim = Simulator()
+    cluster = hetero_cluster(sim, [2.0])
+    job = make_job(runtime=100.0)
+    job.estimate = 200.0
+    record = cluster.start(job, lambda j, t: None)
+    assert record.estimated_finish == pytest.approx(100.0)  # 200 / 2.0
+    assert cluster.releases() == [(pytest.approx(100.0), 1)]
+
+
+def test_homogeneous_path_unchanged():
+    sim = Simulator()
+    cluster = SpaceSharedCluster(sim, total_procs=4)
+    assert not cluster.heterogeneous
+    record = cluster.start(make_job(procs=2), lambda j, t: None)
+    assert record.speed == 1.0
+    assert record.nodes == ()
+
+
+def test_empty_ratings_rejected():
+    with pytest.raises(ValueError):
+        SpaceSharedCluster(Simulator(), node_ratings=[])
+
+
+def test_hetero_end_to_end_with_policy():
+    from repro.policies.fcfs_bf import FCFSBackfill
+    from repro.service.provider import CommercialComputingService
+
+    class HeteroFCFS(FCFSBackfill):
+        def make_cluster(self, sim, total_procs):
+            ratings = [REFERENCE_RATING * (2.0 if i % 2 else 1.0) for i in range(total_procs)]
+            return SpaceSharedCluster(sim, node_ratings=ratings)
+
+    jobs = [make_job(i, submit=float(i), runtime=100.0, procs=1) for i in range(1, 5)]
+    service = CommercialComputingService(HeteroFCFS(), make_model("bid"), total_procs=4)
+    result = service.run(jobs)
+    finishes = sorted(o.finish_time - o.start_time for o in result.outcomes)
+    # Two jobs on fast nodes (50s) and two on reference nodes (100s).
+    assert finishes == [pytest.approx(50.0)] * 2 + [pytest.approx(100.0)] * 2
+
+
+# -- bounded penalty --------------------------------------------------------------
+
+def test_bounded_utility_floors_at_budget_multiple():
+    job = make_job(budget=100.0, pr=10.0, deadline=100.0)
+    very_late = job.submit_time + job.deadline + 1e6
+    assert linear_utility(job, very_late) < -100.0
+    assert bounded_utility(job, very_late, floor_factor=1.0) == -100.0
+    assert bounded_utility(job, very_late, floor_factor=0.0) == 0.0
+
+
+def test_bounded_matches_linear_when_on_time():
+    job = make_job(budget=100.0, pr=1.0, deadline=100.0)
+    assert bounded_utility(job, 50.0) == linear_utility(job, 50.0) == 100.0
+
+
+def test_bounded_model_registered():
+    model = make_model("bid-bounded")
+    assert model.name == "bid-bounded"
+    job = make_job(budget=100.0, pr=10.0, deadline=100.0)
+    assert model.utility(job, 1e7, 0.0) == -100.0
+
+
+def test_bounded_model_validation():
+    with pytest.raises(ValueError):
+        BoundedBidModel(floor_factor=-1.0)
+    with pytest.raises(ValueError):
+        bounded_utility(make_job(), 50.0, floor_factor=-0.5)

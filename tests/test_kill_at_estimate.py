@@ -1,0 +1,94 @@
+"""Unit tests for the kill-at-estimate discipline."""
+
+import pytest
+
+from repro.cluster.spaceshared import SpaceSharedCluster
+from repro.economy.models import make_model
+from repro.policies.fcfs_bf import FCFSBackfill
+from repro.service.provider import CommercialComputingService
+from repro.sim import Simulator
+from repro.workload.job import Job
+
+
+def make_job(job_id=1, submit=0.0, runtime=100.0, estimate=None, procs=1,
+             deadline=1e6, budget=100.0, pr=0.0):
+    return Job(job_id=job_id, submit_time=submit, runtime=runtime,
+               estimate=estimate if estimate is not None else runtime,
+               procs=procs, deadline=deadline, budget=budget, penalty_rate=pr)
+
+
+def run(jobs, kill=True, procs=4, model="bid"):
+    svc = CommercialComputingService(
+        FCFSBackfill(kill_at_estimate=kill), make_model(model), total_procs=procs
+    )
+    result = svc.run(jobs)
+    return result, {r.job.job_id: r for r in result.records}
+
+
+def test_cluster_caps_execution_at_max_runtime():
+    sim = Simulator()
+    cluster = SpaceSharedCluster(sim, total_procs=2)
+    done = []
+    cluster.start(make_job(runtime=500.0, estimate=100.0),
+                  lambda j, t: done.append(t), max_runtime=100.0)
+    sim.run()
+    assert done == [pytest.approx(100.0)]
+    with pytest.raises(ValueError):
+        cluster.start(make_job(2), lambda j, t: None, max_runtime=0.0)
+
+
+def test_underestimated_job_is_killed_and_unpaid():
+    jobs = [make_job(1, runtime=500.0, estimate=100.0, deadline=1e6)]
+    result, recs = run(jobs, kill=True)
+    rec = recs[1]
+    assert rec.killed
+    assert rec.finish_time == pytest.approx(100.0)
+    assert not rec.deadline_met  # killed => SLA broken even within deadline
+    assert rec.utility == 0.0
+    assert result.ledger.total_utility == 0.0
+
+
+def test_accurate_and_overestimated_jobs_unaffected():
+    jobs = [
+        make_job(1, runtime=100.0, estimate=100.0),
+        make_job(2, submit=1.0, runtime=50.0, estimate=200.0),
+    ]
+    _, recs = run(jobs, kill=True)
+    assert not recs[1].killed and recs[1].deadline_met
+    assert not recs[2].killed and recs[2].deadline_met
+    assert recs[2].finish_time - recs[2].start_time == pytest.approx(50.0)
+
+
+def test_kill_prevents_propagated_delay():
+    # Without killing, the under-estimated head delays the follower past its
+    # deadline; with killing, the follower starts on time.
+    def jobs():
+        return [
+            make_job(1, runtime=500.0, estimate=100.0, procs=4),
+            make_job(2, submit=1.0, runtime=50.0, estimate=50.0, procs=4,
+                     deadline=200.0),
+        ]
+
+    _, recs_kill = run(jobs(), kill=True)
+    assert recs_kill[2].deadline_met
+    _, recs_run = run(jobs(), kill=False)
+    assert not recs_run[2].accepted or not recs_run[2].deadline_met
+
+
+def test_default_policy_never_kills():
+    jobs = [make_job(1, runtime=500.0, estimate=100.0)]
+    _, recs = run(jobs, kill=False)
+    assert not recs[1].killed
+    assert recs[1].finish_time == pytest.approx(500.0)
+
+
+def test_killed_jobs_lower_reliability_not_charges():
+    jobs = [
+        make_job(1, runtime=500.0, estimate=100.0, budget=100.0),
+        make_job(2, submit=1.0, runtime=100.0, estimate=100.0, budget=100.0),
+    ]
+    result, _ = run(jobs, kill=True, model="commodity")
+    objs = result.objectives()
+    assert objs.reliability == pytest.approx(50.0)
+    # Only the completed job is charged (flat price = estimate).
+    assert result.ledger.total_utility == pytest.approx(100.0)

@@ -1,0 +1,167 @@
+"""Unit tests for the Libra family (Libra, Libra+$, LibraRiskD)."""
+
+import pytest
+
+from repro.economy.models import make_model
+from repro.economy.pricing import libra_cost
+from repro.policies.libra import Libra
+from repro.policies.libra_dollar import LibraDollar
+from repro.policies.libra_riskd import LibraRiskD
+from repro.service.provider import CommercialComputingService
+from repro.workload.job import Job
+
+
+def make_job(job_id, submit=0.0, runtime=100.0, estimate=None, procs=1,
+             deadline=400.0, budget=1e9, pr=0.0):
+    return Job(job_id=job_id, submit_time=submit, runtime=runtime,
+               estimate=estimate if estimate is not None else runtime,
+               procs=procs, deadline=deadline, budget=budget, penalty_rate=pr)
+
+
+def run(policy, jobs, model="bid", procs=2):
+    svc = CommercialComputingService(policy, make_model(model), total_procs=procs)
+    result = svc.run(jobs)
+    return {o.job_id: o for o in result.outcomes}
+
+
+def test_libra_accepts_and_starts_immediately():
+    out = run(Libra(), [make_job(1, submit=5.0)])
+    assert out[1].accepted
+    assert out[1].start_time == 5.0  # no queue: zero wait
+    assert out[1].deadline_met
+
+
+def test_libra_rejects_infeasible_deadline():
+    # estimate 100 > deadline 80: share > 1.
+    out = run(Libra(), [make_job(1, runtime=100.0, deadline=80.0)])
+    assert not out[1].accepted
+
+
+def test_libra_rejects_when_share_capacity_exhausted():
+    # Each job needs share 0.5 on 2 nodes; the third finds no room.
+    jobs = [
+        make_job(1, runtime=100.0, deadline=200.0, procs=2),
+        make_job(2, runtime=100.0, deadline=200.0, procs=2),
+        make_job(3, submit=1.0, runtime=100.0, deadline=200.0, procs=2),
+    ]
+    out = run(Libra(), jobs, procs=2)
+    assert out[1].accepted and out[2].accepted
+    assert not out[3].accepted
+
+
+def test_libra_capacity_frees_after_completion():
+    jobs = [
+        make_job(1, runtime=100.0, deadline=101.0),   # share ~0.99
+        make_job(2, submit=150.0, runtime=100.0, deadline=101.0),
+    ]
+    out = run(Libra(), jobs, procs=1)
+    assert out[1].accepted and out[2].accepted
+
+
+def test_libra_meets_deadlines_with_accurate_estimates():
+    # Saturate one node with four share-0.25 jobs; all must meet deadlines.
+    jobs = [make_job(i, runtime=100.0, deadline=400.0) for i in range(1, 5)]
+    out = run(Libra(), jobs, procs=1)
+    assert all(out[i].accepted and out[i].deadline_met for i in range(1, 5))
+
+
+def test_libra_underestimate_can_break_deadline():
+    # Job 1 claims 100 s but runs 390 s; admitted at share 0.25 it cannot
+    # finish by its deadline once the node fills up.
+    jobs = [make_job(1, runtime=390.0, estimate=100.0, deadline=380.0)] + [
+        make_job(i, runtime=95.0, estimate=95.0, deadline=380.0) for i in (2, 3, 4)
+    ]
+    out = run(Libra(), jobs, procs=1)
+    assert out[1].accepted
+    assert not out[1].deadline_met
+
+
+def test_libra_commodity_pricing_and_budget():
+    job = make_job(1, runtime=100.0, deadline=400.0, budget=130.0)
+    cost = libra_cost(job)  # 100 + 100*(100/400) = 125
+    assert cost == pytest.approx(125.0)
+    out = run(Libra(), [job], model="commodity")
+    assert out[1].accepted
+    assert out[1].utility == pytest.approx(125.0)
+    poor = make_job(2, runtime=100.0, deadline=400.0, budget=120.0)
+    out = run(Libra(), [poor], model="commodity")
+    assert not out[2].accepted
+
+
+def test_libra_dollar_charges_more_on_busy_nodes():
+    # Same workload, but the second job lands on a node already committed,
+    # so its Libra+$ quote exceeds the idle quote.
+    jobs = [
+        make_job(1, runtime=100.0, deadline=200.0, budget=1e9),
+        make_job(2, submit=1.0, runtime=100.0, deadline=200.0, budget=1e9),
+    ]
+    svc = CommercialComputingService(LibraDollar(), make_model("commodity"), total_procs=1)
+    result = svc.run(jobs)
+    recs = {r.job.job_id: r for r in result.records}
+    assert recs[2].quoted_cost > recs[1].quoted_cost
+
+
+def test_libra_dollar_budget_throttles_under_load():
+    # Budget covers the idle price but not the busy price: job 2 rejected.
+    jobs = [
+        make_job(1, runtime=100.0, deadline=200.0, budget=1e9),
+        make_job(2, submit=1.0, runtime=100.0, deadline=200.0, budget=170.0),
+    ]
+    out = run(LibraDollar(), jobs, model="commodity", procs=1)
+    assert out[1].accepted
+    assert not out[2].accepted
+    # The same job on an idle machine is affordable.
+    out = run(LibraDollar(), [make_job(3, runtime=100.0, deadline=200.0, budget=170.0)],
+              model="commodity", procs=1)
+    assert out[3].accepted
+
+
+def test_libra_riskd_avoids_risky_nodes():
+    # Node 0 hosts a revealed under-estimate (past its estimate, running);
+    # a new job must land on node 1 even though node 0 has spare share.
+    jobs = [
+        make_job(1, runtime=300.0, estimate=50.0, deadline=1000.0),  # risky later
+        make_job(2, submit=100.0, runtime=50.0, deadline=1000.0),
+    ]
+    policy = LibraRiskD()
+    svc = CommercialComputingService(policy, make_model("bid"), total_procs=2)
+    result = svc.run(jobs)
+    out = {o.job_id: o for o in result.outcomes}
+    assert out[2].accepted
+    # Job 2 was admitted at t=100 when job 1 (on the best-fit node) was past
+    # its estimate; zero-risk filtering forces the other node.
+    state_nodes = [o for o in result.outcomes]
+    assert out[1].accepted
+
+
+def test_libra_riskd_rejects_if_all_nodes_risky():
+    jobs = [
+        make_job(1, runtime=300.0, estimate=50.0, deadline=1000.0),
+        make_job(2, submit=100.0, runtime=50.0, deadline=120.0),
+    ]
+    out = run(LibraRiskD(), jobs, procs=1)
+    assert out[1].accepted
+    assert not out[2].accepted  # only node is risky at t=100
+
+
+def test_libra_riskd_accepts_more_via_dynamic_share():
+    # Over-estimated job: estimate 300/deadline 400 -> static share 0.75
+    # blocks a second 0.75 job under Libra, but by t=200 the dynamic
+    # required rate has fallen, so LibraRiskD takes the newcomer.
+    jobs = [
+        make_job(1, runtime=80.0, estimate=300.0, deadline=400.0),
+        make_job(2, submit=200.0, runtime=100.0, estimate=150.0, deadline=200.0),
+    ]
+    out_libra = run(Libra(), jobs, procs=1)
+    out_riskd = run(LibraRiskD(), [j.clone() for j in jobs], procs=1)
+    assert not out_libra[2].accepted or out_riskd[2].accepted
+    assert out_riskd[2].accepted
+
+
+def test_parallel_job_spans_best_fit_nodes():
+    jobs = [
+        make_job(1, runtime=100.0, deadline=200.0, procs=1),
+        make_job(2, submit=1.0, runtime=100.0, deadline=400.0, procs=2),
+    ]
+    out = run(Libra(), jobs, procs=3)
+    assert out[2].accepted and out[2].deadline_met

@@ -1,0 +1,177 @@
+"""Unit tests for the multi-provider market extension (paper §3)."""
+
+import numpy as np
+import pytest
+
+from repro.market.marketplace import Marketplace, ProviderSpec
+from repro.market.user import SatisfactionParams, UserAgent
+from repro.service.sla import SLARecord
+from repro.workload.job import Job
+from repro.workload.qos import QoSSpec, assign_qos
+from repro.workload.synthetic import SDSC_SP2, generate_trace
+
+
+def make_record(accepted=True, met=True, wait=0.0, deadline=1000.0):
+    job = Job(job_id=1, submit_time=0.0, runtime=100.0, estimate=100.0,
+              procs=1, deadline=deadline, budget=10.0)
+    rec = SLARecord(job=job)
+    if accepted:
+        rec.accept(wait)
+        rec.start(wait)
+        rec.finish(wait + 100.0 if met else deadline + 500.0, utility=10.0)
+    else:
+        rec.reject("test")
+    return rec
+
+
+# -- user agent ---------------------------------------------------------------
+
+def test_outcome_scores_ordering():
+    user = UserAgent(1, ("p",))
+    fulfilled = user.outcome_score(make_record())
+    rejected = user.outcome_score(make_record(accepted=False))
+    violated = user.outcome_score(make_record(met=False))
+    assert fulfilled > rejected > violated
+
+
+def test_wait_discount_reduces_reward():
+    user = UserAgent(1, ("p",))
+    instant = user.outcome_score(make_record(wait=0.0))
+    slow = user.outcome_score(make_record(wait=800.0))
+    assert slow < instant
+    assert slow > 0.0  # still positive: the SLA was honoured
+
+
+def test_observe_moves_score_toward_outcome():
+    user = UserAgent(1, ("p",), params=SatisfactionParams(learning_rate=0.5))
+    before = user.scores["p"]
+    user.observe("p", make_record(accepted=False))
+    assert user.scores["p"] < before
+    assert user.history == [("p", "rejected")]
+
+
+def test_observe_unknown_provider_raises():
+    user = UserAgent(1, ("p",))
+    with pytest.raises(KeyError):
+        user.observe("q", make_record())
+
+
+def test_choice_prefers_satisfied_provider():
+    params = SatisfactionParams(temperature=0.05)  # near-greedy
+    user = UserAgent(1, ("good", "bad"), params=params)
+    user.scores["good"] = 1.0
+    user.scores["bad"] = -2.0
+    rng = np.random.default_rng(0)
+    picks = [user.choose_provider(rng) for _ in range(50)]
+    assert picks.count("good") >= 48
+
+
+def test_choice_explores_at_high_temperature():
+    params = SatisfactionParams(temperature=50.0)
+    user = UserAgent(1, ("a", "b"), params=params)
+    user.scores["a"] = 1.0
+    user.scores["b"] = -2.0
+    rng = np.random.default_rng(0)
+    picks = [user.choose_provider(rng) for _ in range(200)]
+    assert 60 < picks.count("a") < 140  # near uniform
+
+
+def test_preferred_provider():
+    user = UserAgent(1, ("a", "b"))
+    user.scores["b"] = 2.0
+    assert user.preferred_provider() == "b"
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        SatisfactionParams(learning_rate=0.0)
+    with pytest.raises(ValueError):
+        SatisfactionParams(temperature=0.0)
+    with pytest.raises(ValueError):
+        UserAgent(1, ())
+
+
+# -- marketplace ----------------------------------------------------------------
+
+def market_workload(n=120, seed=3):
+    from dataclasses import replace
+
+    model = replace(SDSC_SP2, n_jobs=n, max_procs=64)
+    jobs = generate_trace(model, rng=seed)
+    assign_qos(jobs, QoSSpec(), rng=seed)
+    for job in jobs:
+        job.submit_time *= 0.25  # heavy load
+    return jobs
+
+
+def test_marketplace_validation():
+    spec = ProviderSpec("a", "FCFS-BF")
+    with pytest.raises(ValueError):
+        Marketplace([])
+    with pytest.raises(ValueError):
+        Marketplace([spec, ProviderSpec("a", "EDF-BF")])
+    with pytest.raises(ValueError):
+        Marketplace([spec], n_users=0)
+
+
+def test_marketplace_conserves_jobs():
+    market = Marketplace(
+        [ProviderSpec("alpha", "FCFS-BF", total_procs=64),
+         ProviderSpec("beta", "EDF-BF", total_procs=64)],
+        n_users=10, seed=1,
+    )
+    jobs = market_workload(80)
+    market.run(jobs)
+    total = sum(s.submitted for s in market.stats.values())
+    assert total == len(jobs)
+    shares = [market.market_share(p) for p in ("alpha", "beta")]
+    assert sum(shares) == pytest.approx(1.0)
+
+
+def test_marketplace_outcomes_accounted():
+    market = Marketplace(
+        [ProviderSpec("alpha", "FCFS-BF", total_procs=64),
+         ProviderSpec("beta", "LibraRiskD", total_procs=64)],
+        n_users=8, seed=2,
+    )
+    market.run(market_workload(80))
+    for name, stats in market.stats.items():
+        assert stats.accepted + stats.rejected == stats.submitted
+        assert stats.fulfilled + stats.violated == stats.accepted
+    rows = market.summary_rows()
+    assert {r["provider"] for r in rows} == {"alpha", "beta"}
+    assert sum(r["loyal_users"] for r in rows) == 8
+
+
+def test_hostile_provider_loses_market_share():
+    """The §3 claim: a provider that rejects nearly everything (FirstReward
+    with an absurd slack threshold) bleeds users to a serving provider."""
+    market = Marketplace(
+        [
+            ProviderSpec("serving", "FCFS-BF", total_procs=64),
+            ProviderSpec(
+                "hostile", "FirstReward", total_procs=64,
+                policy_kwargs={"slack_threshold": 1e12},
+            ),
+        ],
+        n_users=12, seed=4,
+    )
+    market.run(market_workload(150))
+    assert market.stats["hostile"].rejected == market.stats["hostile"].submitted
+    # Users learn: the serving provider ends with the dominant final share
+    # and (almost) all loyal users.
+    assert market.final_share("serving") > 0.7
+    assert market.preferred_counts()["serving"] >= 11
+    assert market.revenue("serving") > market.revenue("hostile")
+
+
+def test_share_samples_accumulate():
+    market = Marketplace(
+        [ProviderSpec("a", "FCFS-BF", total_procs=64),
+         ProviderSpec("b", "EDF-BF", total_procs=64)],
+        n_users=6, seed=5, share_window=10_000.0,
+    )
+    market.run(market_workload(100))
+    assert market.share_samples
+    for sample in market.share_samples:
+        assert abs(sum(sample.share(p) for p in ("a", "b")) - 1.0) < 1e-9

@@ -1,0 +1,109 @@
+"""Unit tests for service monitoring."""
+
+import pytest
+
+from repro.economy.models import make_model
+from repro.policies.fcfs_bf import FCFSBackfill
+from repro.policies.libra import Libra
+from repro.service.monitoring import Sample, ServiceMonitor, TimeSeries
+from repro.service.provider import CommercialComputingService
+from repro.workload.job import Job
+
+
+def make_job(job_id, submit=0.0, runtime=100.0, procs=2, deadline=1e6, budget=1e9):
+    return Job(job_id=job_id, submit_time=submit, runtime=runtime, estimate=runtime,
+               procs=procs, deadline=deadline, budget=budget)
+
+
+def run_monitored(jobs, policy=None, cadence=None, procs=4):
+    service = CommercialComputingService(
+        policy or FCFSBackfill(), make_model("bid"), total_procs=procs
+    )
+    monitor = ServiceMonitor(service, cadence=cadence)
+    result = service.run(jobs)
+    return monitor, result
+
+
+def test_monitor_tracks_counts():
+    monitor, _ = run_monitored([make_job(1), make_job(2, submit=10.0)])
+    last = monitor.series.samples[-1]
+    assert last.submitted == 2
+    assert last.accepted == 2
+    assert last.fulfilled == 2
+    assert last.rejected == 0
+    assert last.acceptance_ratio == 1.0
+
+
+def test_monitor_sees_rejections():
+    doomed = make_job(2, submit=0.0, runtime=100.0, procs=4, deadline=50.0)
+    monitor, _ = run_monitored([make_job(1, procs=4), doomed])
+    last = monitor.series.samples[-1]
+    assert last.rejected == 1
+    assert last.acceptance_ratio == pytest.approx(0.5)
+
+
+def test_utilization_series_rises_and_falls():
+    monitor, _ = run_monitored([make_job(1, procs=4, runtime=100.0)])
+    utils = monitor.series.values("utilization")
+    assert utils.max() == pytest.approx(1.0)
+    assert utils[-1] == pytest.approx(0.0)
+
+
+def test_queue_length_observed():
+    # Queue occupancy between transitions is only visible to the periodic
+    # sampler (SLA events fire after the queue has already been popped).
+    jobs = [make_job(1, procs=4, runtime=100.0), make_job(2, submit=1.0, procs=4)]
+    monitor, _ = run_monitored(jobs, cadence=10.0)
+    assert monitor.series.peak("queue_length") >= 1
+
+
+def test_cadence_sampling_fills_quiet_periods():
+    jobs = [make_job(1, runtime=1000.0, procs=1)]
+    sparse, _ = run_monitored([j.clone() for j in jobs])
+    dense, _ = run_monitored([j.clone() for j in jobs], cadence=50.0)
+    assert len(dense.series) > len(sparse.series)
+
+
+def test_invalid_cadence():
+    service = CommercialComputingService(FCFSBackfill(), make_model("bid"), total_procs=4)
+    with pytest.raises(ValueError):
+        ServiceMonitor(service, cadence=0.0)
+
+
+def test_monitoring_does_not_change_outcomes():
+    jobs = [make_job(i, submit=float(i), runtime=60.0 + i, procs=1 + i % 3)
+            for i in range(1, 12)]
+    _, plain = run_monitored([j.clone() for j in jobs])
+    _, observed = run_monitored([j.clone() for j in jobs], cadence=25.0)
+    a = sorted((o.job_id, o.start_time, o.finish_time) for o in plain.outcomes)
+    b = sorted((o.job_id, o.start_time, o.finish_time) for o in observed.outcomes)
+    assert a == b
+
+
+def test_time_weighted_mean():
+    ts = TimeSeries()
+
+    def sample(t, util):
+        ts.samples.append(Sample(t, util, 0, 0, 0, 0, 0, 0.0))
+
+    sample(0.0, 1.0)
+    sample(10.0, 0.0)   # utilization 1.0 held for 10s
+    sample(40.0, 0.0)   # utilization 0.0 held for 30s
+    assert ts.time_weighted_mean("utilization") == pytest.approx(0.25)
+    assert ts.mean("utilization") == pytest.approx(1.0 / 3.0)
+
+
+def test_report_summary():
+    monitor, _ = run_monitored([make_job(1, procs=4, runtime=100.0)])
+    report = monitor.report()
+    assert report["peak_utilization"] == pytest.approx(1.0)
+    assert report["final_acceptance_ratio"] == 1.0
+    assert report["samples"] == len(monitor.series)
+
+
+def test_monitor_works_with_timeshared_policy():
+    monitor, result = run_monitored(
+        [make_job(1, procs=2, runtime=100.0, deadline=400.0)], policy=Libra()
+    )
+    assert result.objectives().sla == 100.0
+    assert monitor.series.peak("utilization") > 0.0

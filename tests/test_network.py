@@ -1,0 +1,157 @@
+"""Unit tests for the network link and data staging."""
+
+import pytest
+
+from repro.economy.models import make_model
+from repro.network.link import SharedLink
+from repro.network.staging import DataStagingFrontEnd, assign_input_sizes
+from repro.policies import make_policy
+from repro.service.provider import CommercialComputingService
+from repro.sim import Simulator
+from repro.workload.job import Job
+
+
+def make_job(job_id=1, submit=0.0, runtime=100.0, procs=1, deadline=1e6,
+             budget=1e9, input_mb=None):
+    job = Job(job_id=job_id, submit_time=submit, runtime=runtime,
+              estimate=runtime, procs=procs, deadline=deadline, budget=budget)
+    if input_mb is not None:
+        job.extra["input_mb"] = input_mb
+    return job
+
+
+# -- shared link ----------------------------------------------------------------
+
+def test_single_transfer_time():
+    sim = Simulator()
+    link = SharedLink(sim, bandwidth_mbps=10.0)
+    done = []
+    link.transfer(100.0, lambda t, at: done.append(at))
+    sim.run()
+    assert done == [pytest.approx(10.0)]
+
+
+def test_latency_adds_to_transfer():
+    sim = Simulator()
+    link = SharedLink(sim, bandwidth_mbps=10.0, latency=5.0)
+    done = []
+    link.transfer(100.0, lambda t, at: done.append(at))
+    sim.run()
+    assert done == [pytest.approx(15.0)]
+
+
+def test_concurrent_transfers_share_bandwidth():
+    sim = Simulator()
+    link = SharedLink(sim, bandwidth_mbps=10.0)
+    done = {}
+    link.transfer(100.0, lambda t, at: done.setdefault("a", at))
+    link.transfer(100.0, lambda t, at: done.setdefault("b", at))
+    sim.run()
+    # Both at 5 MB/s -> 20 s each.
+    assert done["a"] == pytest.approx(20.0)
+    assert done["b"] == pytest.approx(20.0)
+
+
+def test_departure_speeds_up_remaining_transfer():
+    sim = Simulator()
+    link = SharedLink(sim, bandwidth_mbps=10.0)
+    done = {}
+    link.transfer(50.0, lambda t, at: done.setdefault("small", at))
+    link.transfer(150.0, lambda t, at: done.setdefault("big", at))
+    sim.run()
+    # Shared at 5 MB/s: small done at 10 s; big has 100 MB left at full
+    # 10 MB/s -> finishes at 20 s.
+    assert done["small"] == pytest.approx(10.0)
+    assert done["big"] == pytest.approx(20.0)
+
+
+def test_zero_size_transfer_completes_immediately():
+    sim = Simulator()
+    link = SharedLink(sim, bandwidth_mbps=10.0)
+    done = []
+    link.transfer(0.0, lambda t, at: done.append(at))
+    sim.run()
+    assert done == [0.0]
+
+
+def test_link_counters_and_validation():
+    sim = Simulator()
+    link = SharedLink(sim, bandwidth_mbps=10.0)
+    link.transfer(10.0, lambda t, at: None)
+    sim.run()
+    assert link.completed_transfers == 1
+    assert link.total_mb_delivered == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        SharedLink(sim, bandwidth_mbps=0.0)
+    with pytest.raises(ValueError):
+        SharedLink(sim, bandwidth_mbps=1.0, latency=-1.0)
+    with pytest.raises(ValueError):
+        link.transfer(-5.0, lambda t, at: None)
+
+
+# -- data staging ------------------------------------------------------------------
+
+def staged_run(jobs, bandwidth=10.0):
+    service = CommercialComputingService(
+        make_policy("FCFS-BF"), make_model("bid"), total_procs=4
+    )
+    link = SharedLink(service.sim, bandwidth_mbps=bandwidth)
+    front = DataStagingFrontEnd(service, link)
+    result = front.run(jobs)
+    return result, front
+
+
+def test_staging_delays_start():
+    result, front = staged_run([make_job(1, input_mb=100.0)])
+    (out,) = result.outcomes
+    assert out.start_time == pytest.approx(10.0)  # 100 MB at 10 MB/s
+    assert front.staging_delay[1] == pytest.approx(10.0)
+    assert front.mean_staging_delay() == pytest.approx(10.0)
+
+
+def test_staging_counts_into_wait_objective():
+    result, _ = staged_run([make_job(1, input_mb=100.0)])
+    assert result.objectives().wait == pytest.approx(10.0)
+
+
+def test_staging_can_break_tight_deadlines():
+    # Deadline 105 s: runtime 100 fits, but 10 s of staging predicts a miss
+    # and the admission control rejects at examination time.
+    result, _ = staged_run([make_job(1, input_mb=100.0, deadline=105.0)])
+    (out,) = result.outcomes
+    assert not out.accepted
+
+
+def test_jobs_without_input_skip_the_link():
+    result, front = staged_run([make_job(1)])
+    (out,) = result.outcomes
+    assert out.start_time == 0.0
+    assert front.staging_delay[1] == 0.0
+
+
+def test_mismatched_simulators_rejected():
+    service = CommercialComputingService(
+        make_policy("FCFS-BF"), make_model("bid"), total_procs=4
+    )
+    other = SharedLink(Simulator(), bandwidth_mbps=1.0)
+    with pytest.raises(ValueError):
+        DataStagingFrontEnd(service, other)
+
+
+def test_assign_input_sizes_scales_with_width():
+    jobs = [make_job(i, procs=p) for i, p in ((1, 1), (2, 16))]
+    assign_input_sizes(jobs, rng=0, mean_mb_per_proc=100.0, sigma_log=0.0)
+    assert jobs[0].extra["input_mb"] == pytest.approx(100.0)
+    assert jobs[1].extra["input_mb"] == pytest.approx(1600.0)
+    assign_input_sizes(jobs, rng=0, mean_mb_per_proc=0.0)
+    assert jobs[0].extra["input_mb"] == 0.0
+    with pytest.raises(ValueError):
+        assign_input_sizes(jobs, rng=0, mean_mb_per_proc=-1.0)
+
+
+def test_staged_end_to_end_with_contention():
+    jobs = [make_job(i, submit=0.0, runtime=50.0, input_mb=100.0) for i in (1, 2)]
+    result, front = staged_run(jobs, bandwidth=10.0)
+    # Two 100 MB transfers share 10 MB/s: both staged at t=20.
+    assert all(d == pytest.approx(20.0) for d in front.staging_delay.values())
+    assert all(o.start_time == pytest.approx(20.0) for o in result.outcomes)

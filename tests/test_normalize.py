@@ -1,0 +1,102 @@
+"""Unit tests for normalization (paper §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalize import (
+    NormalizationError,
+    normalize_objective,
+    normalize_percentage,
+    normalize_runs,
+    normalize_wait,
+)
+from repro.core.objectives import Objective, ObjectiveSet
+
+
+def test_percentage_maps_to_unit_interval():
+    out = normalize_percentage([0.0, 50.0, 100.0])
+    assert np.allclose(out, [0.0, 0.5, 1.0])
+
+
+def test_percentage_clips_out_of_range():
+    out = normalize_percentage([-20.0, 150.0])
+    assert np.allclose(out, [0.0, 1.0])
+
+
+def test_percentage_rejects_nan():
+    with pytest.raises(NormalizationError):
+        normalize_percentage([float("nan")])
+
+
+def test_wait_relative_max_orientation():
+    out = normalize_wait([0.0, 50.0, 100.0])
+    assert np.allclose(out, [1.0, 0.5, 0.0])
+    # Lower wait must never normalise worse than higher wait.
+    assert out[0] >= out[1] >= out[2]
+
+
+def test_wait_minmax_variant():
+    out = normalize_wait([10.0, 20.0, 30.0], method="minmax")
+    assert np.allclose(out, [1.0, 0.5, 0.0])
+
+
+def test_wait_all_equal_is_ideal():
+    assert np.allclose(normalize_wait([0.0, 0.0]), [1.0, 1.0])
+    assert np.allclose(normalize_wait([7.0, 7.0]), [1.0, 1.0])
+
+
+def test_wait_rejects_negative():
+    with pytest.raises(NormalizationError):
+        normalize_wait([-1.0, 2.0])
+
+
+def test_wait_unknown_method():
+    with pytest.raises(NormalizationError):
+        normalize_wait([1.0, 2.0], method="bogus")
+
+
+def test_wait_empty_passthrough():
+    assert normalize_wait([]).size == 0
+
+
+def test_normalize_objective_dispatch():
+    w = normalize_objective(Objective.WAIT, [0.0, 10.0])
+    p = normalize_objective(Objective.SLA, [25.0])
+    assert np.allclose(w, [1.0, 0.0])
+    assert np.allclose(p, [0.25])
+
+
+def _objset(wait, sla=50.0, rel=80.0, prof=40.0):
+    return ObjectiveSet(wait=wait, sla=sla, reliability=rel, profitability=prof)
+
+
+def test_normalize_runs_grid_max_default():
+    runs = [
+        [_objset(0.0), _objset(10.0)],   # policy A
+        [_objset(100.0), _objset(20.0)], # policy B
+    ]
+    out = normalize_runs(runs)
+    assert out[Objective.WAIT].shape == (2, 2)
+    # Wait normalised against the scenario-wide maximum (100):
+    assert np.allclose(out[Objective.WAIT], [[1.0, 0.9], [0.0, 0.8]])
+    assert np.allclose(out[Objective.SLA], 0.5)
+
+
+def test_normalize_runs_per_column_variant():
+    runs = [
+        [_objset(0.0), _objset(10.0)],
+        [_objset(100.0), _objset(20.0)],
+    ]
+    out = normalize_runs(runs, wait_method="relative-max")
+    assert np.allclose(out[Objective.WAIT][:, 0], [1.0, 0.0])
+    assert np.allclose(out[Objective.WAIT][:, 1], [0.5, 0.0])
+
+
+def test_normalize_runs_requires_rectangular_grid():
+    with pytest.raises(NormalizationError):
+        normalize_runs([[_objset(1.0)], [_objset(1.0), _objset(2.0)]])
+
+
+def test_normalize_runs_empty():
+    out = normalize_runs([])
+    assert out[Objective.WAIT].size == 0

@@ -1,0 +1,144 @@
+"""Unit tests for objective measurement (paper §3, Eqs. 1-4)."""
+
+import pytest
+
+from repro.core.objectives import (
+    OBJECTIVES,
+    JobOutcome,
+    Objective,
+    ObjectiveSet,
+    compute_objectives,
+)
+
+
+def outcome(
+    job_id=1,
+    submit=0.0,
+    budget=100.0,
+    accepted=True,
+    start=10.0,
+    finish=110.0,
+    deadline_met=True,
+    utility=100.0,
+):
+    return JobOutcome(
+        job_id=job_id,
+        submit_time=submit,
+        budget=budget,
+        accepted=accepted,
+        start_time=start,
+        finish_time=finish,
+        deadline_met=deadline_met,
+        utility=utility,
+    )
+
+
+def test_table_i_focus_classification():
+    assert Objective.WAIT.user_centric
+    assert Objective.SLA.user_centric
+    assert Objective.RELIABILITY.user_centric
+    assert not Objective.PROFITABILITY.user_centric
+    assert OBJECTIVES == (
+        Objective.WAIT,
+        Objective.SLA,
+        Objective.RELIABILITY,
+        Objective.PROFITABILITY,
+    )
+
+
+def test_only_wait_is_lower_better():
+    assert Objective.WAIT.lower_is_better
+    assert not Objective.SLA.lower_is_better
+
+
+def test_eq1_wait_mean_over_fulfilled_jobs_only():
+    outcomes = [
+        outcome(1, submit=0.0, start=30.0),
+        outcome(2, submit=10.0, start=20.0),
+        # Rejected and unfulfilled jobs must not contribute to wait:
+        outcome(3, accepted=False, start=None, finish=None, deadline_met=False, utility=0.0),
+        outcome(4, submit=0.0, start=500.0, deadline_met=False),
+    ]
+    objs = compute_objectives(outcomes)
+    assert objs.wait == pytest.approx((30.0 + 10.0) / 2)
+
+
+def test_eq2_sla_percentage_of_submitted():
+    outcomes = [outcome(i) for i in range(3)] + [
+        outcome(9, accepted=False, start=None, utility=0.0)
+    ]
+    objs = compute_objectives(outcomes)
+    assert objs.sla == pytest.approx(100.0 * 3 / 4)
+
+
+def test_eq3_reliability_percentage_of_accepted():
+    outcomes = [
+        outcome(1, deadline_met=True),
+        outcome(2, deadline_met=False),
+        outcome(3, accepted=False, start=None, utility=0.0),
+    ]
+    objs = compute_objectives(outcomes)
+    assert objs.reliability == pytest.approx(50.0)
+
+
+def test_eq4_profitability_utility_over_total_budget():
+    outcomes = [
+        outcome(1, budget=100.0, utility=80.0),
+        outcome(2, budget=100.0, utility=50.0),
+        outcome(3, budget=200.0, accepted=False, start=None, utility=0.0),
+    ]
+    objs = compute_objectives(outcomes)
+    assert objs.profitability == pytest.approx(100.0 * 130.0 / 400.0)
+
+
+def test_profitability_can_be_negative_with_penalties():
+    outcomes = [outcome(1, budget=100.0, utility=-50.0, deadline_met=False)]
+    objs = compute_objectives(outcomes)
+    assert objs.profitability == pytest.approx(-50.0)
+
+
+def test_no_jobs_edge_case():
+    objs = compute_objectives([])
+    assert objs.wait == 0.0
+    assert objs.sla == 0.0
+    assert objs.reliability == 100.0
+    assert objs.profitability == 0.0
+
+
+def test_no_fulfilled_jobs_wait_is_zero():
+    outcomes = [outcome(1, deadline_met=False)]
+    assert compute_objectives(outcomes).wait == 0.0
+
+
+def test_missing_start_time_on_fulfilled_job_raises():
+    bad = JobOutcome(
+        job_id=1, submit_time=0.0, budget=1.0, accepted=True,
+        start_time=None, finish_time=5.0, deadline_met=True,
+    )
+    with pytest.raises(ValueError):
+        compute_objectives([bad])
+
+
+def test_sla_fulfilled_requires_acceptance_and_deadline():
+    o = outcome(accepted=False, deadline_met=True)
+    assert not o.sla_fulfilled
+    o = outcome(accepted=True, deadline_met=False)
+    assert not o.sla_fulfilled
+    assert outcome().sla_fulfilled
+
+
+def test_objective_set_accessors():
+    objs = ObjectiveSet(wait=5.0, sla=50.0, reliability=75.0, profitability=25.0)
+    assert objs.value(Objective.WAIT) == 5.0
+    assert objs.value(Objective.RELIABILITY) == 75.0
+    assert objs.as_dict() == {
+        "wait": 5.0,
+        "SLA": 50.0,
+        "reliability": 75.0,
+        "profitability": 25.0,
+    }
+
+
+def test_wait_time_property():
+    assert outcome(submit=5.0, start=15.0).wait_time == 10.0
+    assert outcome(start=None, deadline_met=False).wait_time is None

@@ -1,0 +1,94 @@
+"""Unit tests for the CommercialComputingService provider."""
+
+import pytest
+
+from repro.economy.models import make_model
+from repro.policies.fcfs_bf import FCFSBackfill
+from repro.service.provider import CommercialComputingService
+from repro.workload.job import Job
+
+
+def make_job(job_id, submit=0.0, runtime=100.0, procs=1, deadline=1e6, budget=1e6, pr=0.0):
+    return Job(job_id=job_id, submit_time=submit, runtime=runtime, estimate=runtime,
+               procs=procs, deadline=deadline, budget=budget, penalty_rate=pr)
+
+
+def run_service(jobs, model="commodity", total_procs=4, policy=None):
+    svc = CommercialComputingService(
+        policy or FCFSBackfill(), make_model(model), total_procs=total_procs
+    )
+    return svc.run(jobs)
+
+
+def test_single_job_full_lifecycle():
+    result = run_service([make_job(1, runtime=50.0, budget=100.0)])
+    (out,) = result.outcomes
+    assert out.accepted and out.deadline_met
+    assert out.start_time == 0.0
+    assert out.finish_time == 50.0
+    assert out.utility == 50.0  # flat price: estimate * $1/s
+    assert result.sim_time == 50.0
+
+
+def test_objectives_from_result():
+    result = run_service(
+        [make_job(1, runtime=50.0, budget=100.0), make_job(2, runtime=50.0, budget=100.0, deadline=1e6)]
+    )
+    objs = result.objectives()
+    assert objs.sla == 100.0
+    assert objs.reliability == 100.0
+    assert objs.profitability == pytest.approx(100.0 * 100.0 / 200.0)
+
+
+def test_budget_rejection_in_commodity_model():
+    # Flat cost 100 > budget 50: rejected in the commodity market.
+    result = run_service([make_job(1, runtime=100.0, budget=50.0)])
+    (out,) = result.outcomes
+    assert not out.accepted
+
+
+def test_same_job_accepted_in_bid_model():
+    result = run_service([make_job(1, runtime=100.0, budget=50.0)], model="bid")
+    (out,) = result.outcomes
+    assert out.accepted
+    assert out.utility == 50.0  # full bid, on time
+
+
+def test_bid_model_penalty_applied():
+    # Job 2 starts at t=100 (after job 1); its estimate predicts an on-time
+    # finish (200 <= 220) so admission passes, but the actual runtime of 160
+    # overruns the deadline by 40 s.
+    job2 = Job(job_id=2, submit_time=0.0, runtime=160.0, estimate=100.0,
+               procs=4, deadline=220.0, budget=100.0, penalty_rate=1.0)
+    jobs = [make_job(1, runtime=100.0, procs=4, budget=1000.0), job2]
+    result = run_service(jobs, model="bid")
+    out2 = next(o for o in result.outcomes if o.job_id == 2)
+    assert out2.accepted and not out2.deadline_met
+    assert out2.finish_time == 260.0
+    assert out2.utility == pytest.approx(100.0 - 1.0 * 40.0)
+
+
+def test_ledger_records_settlements():
+    result = run_service([make_job(1, runtime=50.0, budget=100.0)])
+    assert len(result.ledger) == 1
+    assert result.ledger.total_utility == pytest.approx(50.0)
+
+
+def test_duplicate_job_ids_rejected():
+    svc = CommercialComputingService(FCFSBackfill(), make_model("commodity"), total_procs=4)
+    with pytest.raises(ValueError):
+        svc.run([make_job(1), make_job(1)])
+
+
+def test_policy_cannot_be_reused_across_services():
+    policy = FCFSBackfill()
+    CommercialComputingService(policy, make_model("commodity"), total_procs=4)
+    with pytest.raises(Exception):
+        CommercialComputingService(policy, make_model("commodity"), total_procs=4)
+
+
+def test_arrivals_scheduled_at_submit_times():
+    jobs = [make_job(1, submit=10.0, runtime=5.0), make_job(2, submit=30.0, runtime=5.0)]
+    result = run_service(jobs)
+    starts = {o.job_id: o.start_time for o in result.outcomes}
+    assert starts == {1: 10.0, 2: 30.0}

@@ -1,0 +1,92 @@
+"""Unit tests for SLA/QoS parameter synthesis (paper §5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.job import Urgency
+from repro.workload.qos import QoSParameter, QoSSpec, assign_qos, qos_statistics
+from repro.workload.synthetic import SDSC_SP2, generate_trace
+
+
+def jobs_with_qos(n=400, seed=0, **spec_kwargs):
+    jobs = generate_trace(SDSC_SP2.scaled(n), rng=seed)
+    spec = QoSSpec(**spec_kwargs)
+    return assign_qos(jobs, spec, rng=seed), spec
+
+
+def test_deterministic_for_same_seed():
+    a, _ = jobs_with_qos(seed=9)
+    b, _ = jobs_with_qos(seed=9)
+    assert [(j.deadline, j.budget, j.penalty_rate, j.urgency) for j in a] == [
+        (j.deadline, j.budget, j.penalty_rate, j.urgency) for j in b
+    ]
+
+
+def test_job_mix_fraction():
+    jobs, _ = jobs_with_qos(n=2000, pct_high_urgency=30.0)
+    frac = np.mean([j.urgency is Urgency.HIGH for j in jobs])
+    assert frac == pytest.approx(0.30, abs=0.04)
+
+
+def test_all_high_and_all_low():
+    jobs, _ = jobs_with_qos(n=100, pct_high_urgency=100.0)
+    assert all(j.urgency is Urgency.HIGH for j in jobs)
+    jobs, _ = jobs_with_qos(n=100, pct_high_urgency=0.0)
+    assert all(j.urgency is Urgency.LOW for j in jobs)
+
+
+def test_high_urgency_has_tighter_deadlines_higher_budget_and_penalty():
+    jobs, _ = jobs_with_qos(n=3000, pct_high_urgency=50.0)
+    stats = qos_statistics(jobs)
+    assert stats["high"]["mean_deadline_factor"] < stats["low"]["mean_deadline_factor"]
+    assert stats["high"]["mean_budget_factor"] > stats["low"]["mean_budget_factor"]
+    assert stats["high"]["mean_penalty_factor"] > stats["low"]["mean_penalty_factor"]
+
+
+def test_ratio_separates_class_means():
+    jobs, spec = jobs_with_qos(n=4000, pct_high_urgency=50.0)
+    stats = qos_statistics(jobs)
+    # Bias perturbs individual values but the class-mean ratio should be
+    # within a factor-of-two band of the configured high:low ratio.
+    observed = stats["low"]["mean_deadline_factor"] / stats["high"]["mean_deadline_factor"]
+    assert observed == pytest.approx(spec.deadline.high_low_ratio, rel=0.5)
+
+
+def test_deadline_floor():
+    jobs, spec = jobs_with_qos(n=1000, deadline=QoSParameter(low_mean=1.0, bias=10.0))
+    assert all(j.deadline >= spec.min_deadline_factor * j.runtime * 0.999 for j in jobs)
+
+
+def test_bias_tightens_long_jobs():
+    # With a strong bias, long jobs should end up with smaller deadline
+    # factors than short jobs on average.
+    jobs, _ = jobs_with_qos(n=3000, pct_high_urgency=0.0, deadline=QoSParameter(bias=6.0))
+    runtimes = np.array([j.runtime for j in jobs])
+    factors = np.array([j.deadline / j.runtime for j in jobs])
+    mean_rt = runtimes.mean()
+    assert factors[runtimes > mean_rt].mean() < factors[runtimes <= mean_rt].mean()
+
+
+def test_penalty_rate_scales_with_budget_over_deadline():
+    jobs, _ = jobs_with_qos(n=500)
+    for j in jobs:
+        assert j.penalty_rate >= 0.0
+        # pr = factor * b / d with factor bounded by the synthesis caps.
+        assert j.penalty_rate <= 100.0 * j.budget / j.deadline
+
+
+def test_invalid_pct_raises():
+    jobs = generate_trace(SDSC_SP2.scaled(10), rng=0)
+    with pytest.raises(ValueError):
+        assign_qos(jobs, QoSSpec(pct_high_urgency=150.0), rng=0)
+
+
+def test_empty_job_list():
+    assert assign_qos([], QoSSpec(), rng=0) == []
+    assert qos_statistics([]) == {"n": 0}
+
+
+def test_with_values_replaces_fields():
+    spec = QoSSpec().with_values(pct_high_urgency=80.0)
+    assert spec.pct_high_urgency == 80.0
+    assert spec.deadline.low_mean == QoSSpec().deadline.low_mean

@@ -1,0 +1,127 @@
+"""Unit tests for the policy ranking rules (paper §4.3, Tables III-IV)."""
+
+import pytest
+
+from repro.core.ranking import GRADIENT_ORDER, rank_policies
+from repro.core.riskplot import RiskPlot
+from repro.core.trend import Gradient
+
+
+def build_plot(data):
+    """data: {policy: [(vol, perf), ...]}"""
+    plot = RiskPlot()
+    for policy, points in data.items():
+        for i, (v, p) in enumerate(points):
+            plot.add_point(policy, f"s{i}", v, p)
+    return plot
+
+
+def test_max_performance_is_primary_key():
+    plot = build_plot({
+        "low": [(0.0, 0.5), (0.0, 0.5)],
+        "high": [(0.9, 0.8), (1.0, 0.6)],
+    })
+    ranked = rank_policies(plot, by="performance")
+    assert [r.policy for r in ranked] == ["high", "low"]
+    assert ranked[0].rank == 1
+
+
+def test_min_volatility_breaks_performance_ties():
+    plot = build_plot({
+        "jittery": [(0.5, 0.7), (0.6, 0.6)],
+        "steady": [(0.1, 0.7), (0.2, 0.6)],
+    })
+    ranked = rank_policies(plot, by="performance")
+    assert [r.policy for r in ranked] == ["steady", "jittery"]
+
+
+def test_performance_difference_third_key():
+    plot = build_plot({
+        "wide": [(0.2, 0.7), (0.3, 0.2)],
+        "narrow": [(0.2, 0.7), (0.3, 0.6)],
+    })
+    ranked = rank_policies(plot, by="performance")
+    assert [r.policy for r in ranked] == ["narrow", "wide"]
+
+
+def test_volatility_difference_fourth_key():
+    plot = build_plot({
+        "spread": [(0.2, 0.7), (0.9, 0.4)],
+        "tight": [(0.2, 0.7), (0.4, 0.4)],
+    })
+    ranked = rank_policies(plot, by="performance")
+    assert [r.policy for r in ranked] == ["tight", "spread"]
+
+
+def test_gradient_last_key_prefers_decreasing():
+    plot = build_plot({
+        # Same max perf .7, min vol .2, perf diff .3, vol diff .3.
+        "inc": [(0.2, 0.4), (0.5, 0.7)],
+        "dec": [(0.2, 0.7), (0.5, 0.4)],
+    })
+    ranked = rank_policies(plot, by="performance")
+    assert [r.policy for r in ranked] == ["dec", "inc"]
+    assert ranked[0].gradient is Gradient.DECREASING
+
+
+def test_volatility_ranking_swaps_first_two_keys():
+    plot = build_plot({
+        "calm_weak": [(0.05, 0.4), (0.1, 0.35)],
+        "wild_strong": [(0.5, 0.95), (0.6, 0.9)],
+    })
+    by_perf = rank_policies(plot, by="performance")
+    by_vol = rank_policies(plot, by="volatility")
+    assert [r.policy for r in by_perf] == ["wild_strong", "calm_weak"]
+    assert [r.policy for r in by_vol] == ["calm_weak", "wild_strong"]
+
+
+def test_ideal_policy_ranks_first_under_both_criteria():
+    plot = build_plot({
+        "ideal": [(0.0, 1.0)] * 3,
+        "good": [(0.1, 0.9), (0.2, 0.95)],
+    })
+    assert rank_policies(plot, by="performance")[0].policy == "ideal"
+    assert rank_policies(plot, by="volatility")[0].policy == "ideal"
+    assert rank_policies(plot)[0].gradient is Gradient.NONE
+
+
+def test_gradient_order_preference():
+    assert GRADIENT_ORDER[Gradient.DECREASING] < GRADIENT_ORDER[Gradient.INCREASING]
+    assert GRADIENT_ORDER[Gradient.INCREASING] < GRADIENT_ORDER[Gradient.ZERO]
+    assert GRADIENT_ORDER[Gradient.NONE] < GRADIENT_ORDER[Gradient.DECREASING]
+
+
+def test_ranks_are_sequential():
+    plot = build_plot({
+        "a": [(0.1, 0.9)],
+        "b": [(0.2, 0.8)],
+        "c": [(0.3, 0.7)],
+    })
+    ranked = rank_policies(plot)
+    assert [r.rank for r in ranked] == [1, 2, 3]
+
+
+def test_unknown_criterion_raises():
+    plot = build_plot({"a": [(0.1, 0.9)]})
+    with pytest.raises(ValueError):
+        rank_policies(plot, by="bogus")
+
+
+def test_empty_plot_returns_empty():
+    assert rank_policies(RiskPlot()) == []
+
+
+def test_policy_without_points_raises():
+    plot = RiskPlot()
+    plot.policy("empty")
+    with pytest.raises(ValueError):
+        rank_policies(plot)
+
+
+def test_as_row_round_trip():
+    plot = build_plot({"a": [(0.1, 0.9), (0.2, 0.7)]})
+    row = rank_policies(plot)[0].as_row()
+    assert row["policy"] == "a"
+    assert row["rank"] == 1
+    assert row["max_performance"] == 0.9
+    assert row["gradient"] == "decreasing"

@@ -1,0 +1,91 @@
+"""Unit tests for the risk-analysis plot data model (paper §4.3)."""
+
+import pytest
+
+from repro.core.riskplot import PolicySeries, RiskPlot, RiskPoint, plot_from_results
+from repro.core.trend import Gradient
+
+
+def make_plot():
+    plot = RiskPlot(title="sample")
+    for i, (v, p) in enumerate([(0.1, 0.9), (0.2, 0.8), (0.3, 0.7)]):
+        plot.add_point("alpha", f"s{i}", v, p)
+    for i, (v, p) in enumerate([(0.0, 1.0), (0.0, 1.0)]):
+        plot.add_point("ideal", f"s{i}", v, p)
+    return plot
+
+
+def test_point_validation():
+    with pytest.raises(ValueError):
+        RiskPoint("s", volatility=-0.5, performance=0.5)
+    with pytest.raises(ValueError):
+        RiskPoint("s", volatility=0.5, performance=1.5)
+
+
+def test_series_summary_statistics():
+    plot = make_plot()
+    s = plot.series["alpha"]
+    assert s.max_performance == 0.9
+    assert s.min_performance == 0.7
+    assert s.performance_difference == pytest.approx(0.2)
+    assert s.max_volatility == 0.3
+    assert s.min_volatility == 0.1
+    assert s.volatility_difference == pytest.approx(0.2)
+    assert s.trend().gradient is Gradient.DECREASING
+
+
+def test_ideal_policy_detection():
+    plot = make_plot()
+    assert plot.series["ideal"].is_ideal()
+    assert not plot.series["alpha"].is_ideal()
+
+
+def test_policy_creation_on_demand():
+    plot = RiskPlot()
+    series = plot.policy("new")
+    assert isinstance(series, PolicySeries)
+    assert plot.policy("new") is series
+
+
+def test_policies_and_scenarios_listing():
+    plot = make_plot()
+    assert plot.policies() == ["alpha", "ideal"]
+    assert plot.scenarios() == ["s0", "s1", "s2"]
+
+
+def test_csv_rendering():
+    plot = make_plot()
+    csv = plot.to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0] == "policy,scenario,volatility,performance"
+    assert len(lines) == 1 + 3 + 2
+    assert "alpha,s0,0.100000,0.900000" in csv
+
+
+def test_summary_rows_table_ii_shape():
+    rows = make_plot().summary_rows()
+    assert {r["policy"] for r in rows} == {"alpha", "ideal"}
+    alpha = next(r for r in rows if r["policy"] == "alpha")
+    assert alpha["gradient"] == "decreasing"
+    ideal = next(r for r in rows if r["policy"] == "ideal")
+    assert ideal["gradient"] == "NA"
+
+
+def test_ascii_rendering_contains_legend_and_points():
+    art = make_plot().render_ascii()
+    assert "a=alpha" in art
+    assert "b=ideal" in art
+    assert "volatility" in art
+
+
+def test_ascii_empty_plot():
+    assert RiskPlot().render_ascii() == "(empty risk plot)"
+
+
+def test_plot_from_results():
+    plot = plot_from_results(
+        "t", {"p1": {"s1": (0.8, 0.2)}, "p2": {"s1": (0.5, 0.4)}}
+    )
+    assert plot.series["p1"].points[0].performance == 0.8
+    assert plot.series["p1"].points[0].volatility == 0.2
+    assert plot.title == "t"

@@ -1,0 +1,102 @@
+"""Unit tests for the experiment runner (workload building, caching,
+scenario reduction)."""
+
+import pytest
+
+from repro.core.objectives import Objective
+from repro.experiments.runner import (
+    GridAnalysis,
+    RunCache,
+    build_workload,
+    run_grid,
+    run_scenario,
+    run_single,
+)
+from repro.experiments.scenarios import ExperimentConfig, scenario_by_name
+
+SMALL = ExperimentConfig(n_jobs=40, total_procs=32)
+
+
+def test_build_workload_is_deterministic():
+    a = build_workload(SMALL)
+    b = build_workload(SMALL)
+    assert [(j.submit_time, j.runtime, j.deadline, j.budget) for j in a] == [
+        (j.submit_time, j.runtime, j.deadline, j.budget) for j in b
+    ]
+
+
+def test_arrival_factor_scales_interarrivals():
+    fast = build_workload(SMALL.with_values(arrival_delay_factor=0.1))
+    slow = build_workload(SMALL.with_values(arrival_delay_factor=1.0))
+    assert fast[-1].submit_time == pytest.approx(0.1 * slow[-1].submit_time)
+    # Same trace otherwise.
+    assert [j.runtime for j in fast] == [j.runtime for j in slow]
+
+
+def test_invalid_arrival_factor():
+    with pytest.raises(ValueError):
+        build_workload(SMALL.with_values(arrival_delay_factor=0.0))
+
+
+def test_inaccuracy_config_controls_estimates():
+    exact = build_workload(SMALL.with_values(inaccuracy_pct=0.0))
+    trace = build_workload(SMALL.with_values(inaccuracy_pct=100.0))
+    assert all(j.estimate == pytest.approx(j.runtime) for j in exact)
+    assert any(j.estimate != j.runtime for j in trace)
+
+
+def test_run_single_returns_objectives():
+    objs = run_single(SMALL, "FCFS-BF", "commodity")
+    assert 0.0 <= objs.sla <= 100.0
+    assert 0.0 <= objs.reliability <= 100.0
+    assert objs.wait >= 0.0
+
+
+def test_run_single_cache_hits():
+    cache = RunCache()
+    a = run_single(SMALL, "FCFS-BF", "bid", cache)
+    b = run_single(SMALL, "FCFS-BF", "bid", cache)
+    assert a == b
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert len(cache) == 1
+
+
+def test_cache_distinguishes_policy_and_model():
+    cache = RunCache()
+    run_single(SMALL, "FCFS-BF", "bid", cache)
+    run_single(SMALL, "FCFS-BF", "commodity", cache)
+    run_single(SMALL, "EDF-BF", "bid", cache)
+    assert len(cache) == 3
+    assert cache.hits == 0
+
+
+def test_run_scenario_shape():
+    scenario = scenario_by_name("job mix")
+    result = run_scenario(scenario, ["FCFS-BF", "EDF-BF"], "bid", SMALL)
+    assert set(result.keys()) == set(Objective)
+    for objective in Objective:
+        assert set(result[objective].keys()) == {"FCFS-BF", "EDF-BF"}
+        for risk in result[objective].values():
+            assert 0.0 <= risk.performance <= 1.0
+            assert risk.volatility >= 0.0
+
+
+def test_run_grid_and_plots():
+    scenarios = [scenario_by_name("job mix"), scenario_by_name("workload")]
+    grid = run_grid(["FCFS-BF", "EDF-BF"], "bid", SMALL, "A", scenarios)
+    assert isinstance(grid, GridAnalysis)
+    assert grid.scenarios == ("job mix", "workload")
+    plot = grid.separate_plot(Objective.SLA)
+    assert set(plot.policies()) == {"FCFS-BF", "EDF-BF"}
+    assert len(plot.series["FCFS-BF"].points) == 2  # one point per scenario
+    combined = grid.integrated_plot([Objective.SLA, Objective.WAIT])
+    assert len(combined.series["EDF-BF"].points) == 2
+
+
+def test_grid_cache_reuses_default_config():
+    scenarios = [scenario_by_name("job mix"), scenario_by_name("workload")]
+    cache = RunCache()
+    run_grid(["FCFS-BF"], "bid", SMALL, "A", scenarios, cache)
+    # Default config (job mix=20, workload=0.25) appears in both scenarios.
+    assert cache.hits >= 1

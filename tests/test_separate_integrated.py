@@ -1,0 +1,109 @@
+"""Unit tests for separate (Eqs. 5-6) and integrated (Eqs. 7-8) risk analysis."""
+
+import math
+
+import pytest
+
+from repro.core.integrated import equal_weights, integrated_risk
+from repro.core.objectives import Objective
+from repro.core.separate import SeparateRisk, separate_risk
+
+
+def test_separate_mean_and_population_std():
+    r = separate_risk([0.0, 1.0])
+    assert r.performance == pytest.approx(0.5)
+    assert r.volatility == pytest.approx(0.5)  # population std, not sample
+
+
+def test_separate_constant_results_zero_volatility():
+    r = separate_risk([0.7] * 6)
+    assert r.performance == pytest.approx(0.7)
+    assert r.volatility == pytest.approx(0.0)
+
+
+def test_separate_ideal_policy():
+    r = separate_risk([1.0] * 5)
+    assert (r.performance, r.volatility) == (1.0, 0.0)
+
+
+def test_separate_matches_eq6_formula():
+    data = [0.2, 0.4, 0.9, 0.5, 0.55, 0.75]
+    r = separate_risk(data)
+    mu = sum(data) / len(data)
+    var = sum(x * x for x in data) / len(data) - mu * mu
+    assert r.performance == pytest.approx(mu)
+    assert r.volatility == pytest.approx(math.sqrt(var))
+
+
+def test_separate_rejects_empty_and_out_of_range():
+    with pytest.raises(ValueError):
+        separate_risk([])
+    with pytest.raises(ValueError):
+        separate_risk([1.2])
+    with pytest.raises(ValueError):
+        separate_risk([-0.1])
+    with pytest.raises(ValueError):
+        separate_risk([float("nan")])
+
+
+def test_separate_risk_validation():
+    with pytest.raises(ValueError):
+        SeparateRisk(performance=1.5, volatility=0.0)
+    with pytest.raises(ValueError):
+        SeparateRisk(performance=0.5, volatility=-0.1)
+
+
+def three_objectives():
+    return {
+        Objective.WAIT: SeparateRisk(0.9, 0.1),
+        Objective.SLA: SeparateRisk(0.6, 0.3),
+        Objective.PROFITABILITY: SeparateRisk(0.3, 0.2),
+    }
+
+
+def test_integrated_equal_weights_default():
+    result = integrated_risk(three_objectives())
+    assert result.performance == pytest.approx((0.9 + 0.6 + 0.3) / 3)
+    assert result.volatility == pytest.approx((0.1 + 0.3 + 0.2) / 3)
+    assert set(result.objectives) == set(three_objectives())
+
+
+def test_integrated_custom_weights():
+    sep = three_objectives()
+    weights = {Objective.WAIT: 0.5, Objective.SLA: 0.5, Objective.PROFITABILITY: 0.0}
+    result = integrated_risk(sep, weights)
+    assert result.performance == pytest.approx(0.75)
+    assert result.volatility == pytest.approx(0.2)
+
+
+def test_integrated_weight_validation():
+    sep = three_objectives()
+    with pytest.raises(ValueError):
+        integrated_risk(sep, {Objective.WAIT: 1.0})  # missing objectives
+    bad = {Objective.WAIT: 0.5, Objective.SLA: 0.4, Objective.PROFITABILITY: 0.4}
+    with pytest.raises(ValueError):
+        integrated_risk(sep, bad)  # sums to 1.3
+    negative = {Objective.WAIT: -0.2, Objective.SLA: 0.6, Objective.PROFITABILITY: 0.6}
+    with pytest.raises(ValueError):
+        integrated_risk(sep, negative)
+
+
+def test_integrated_single_objective_reduces_to_separate():
+    sep = {Objective.SLA: SeparateRisk(0.42, 0.13)}
+    result = integrated_risk(sep)
+    assert result.performance == pytest.approx(0.42)
+    assert result.volatility == pytest.approx(0.13)
+
+
+def test_integrated_empty_raises():
+    with pytest.raises(ValueError):
+        integrated_risk({})
+
+
+def test_equal_weights_paper_values():
+    w3 = equal_weights([Objective.WAIT, Objective.SLA, Objective.RELIABILITY])
+    assert all(v == pytest.approx(1 / 3) for v in w3.values())
+    w4 = equal_weights(list(Objective))
+    assert all(v == pytest.approx(0.25) for v in w4.values())
+    with pytest.raises(ValueError):
+        equal_weights([])

@@ -1,0 +1,101 @@
+"""Unit tests for result persistence."""
+
+import json
+
+import pytest
+
+from repro.core.objectives import Objective
+from repro.economy.models import make_model
+from repro.experiments.runner import run_grid
+from repro.experiments.scenarios import ExperimentConfig, scenario_by_name
+from repro.experiments.store import (
+    StoreError,
+    grid_from_dict,
+    grid_to_dict,
+    load_grid,
+    outcomes_to_csv,
+    save_grid,
+    save_outcomes,
+)
+from repro.policies import make_policy
+from repro.service.provider import CommercialComputingService
+from repro.workload.job import Job
+
+
+def small_grid():
+    return run_grid(
+        ["FCFS-BF", "Libra"], "bid",
+        ExperimentConfig(n_jobs=25, total_procs=32), "A",
+        [scenario_by_name("job mix")],
+    )
+
+
+def test_grid_roundtrip_exact():
+    grid = small_grid()
+    back = grid_from_dict(grid_to_dict(grid))
+    assert back.model == grid.model
+    assert back.set_name == grid.set_name
+    assert back.policies == grid.policies
+    assert back.scenarios == grid.scenarios
+    for objective in Objective:
+        for policy in grid.policies:
+            for scenario in grid.scenarios:
+                a = grid.separate[objective][policy][scenario]
+                b = back.separate[objective][policy][scenario]
+                assert a.performance == b.performance
+                assert a.volatility == b.volatility
+
+
+def test_grid_file_roundtrip(tmp_path):
+    grid = small_grid()
+    path = save_grid(grid, tmp_path / "grid.json")
+    back = load_grid(path)
+    assert back.policies == grid.policies
+    # Plots still derive from the loaded grid.
+    plot = back.separate_plot(Objective.SLA)
+    assert set(plot.policies()) == set(grid.policies)
+
+
+def test_loaded_document_is_valid_json(tmp_path):
+    path = save_grid(small_grid(), tmp_path / "grid.json")
+    doc = json.loads(path.read_text())
+    assert doc["format"] == "repro-grid"
+    assert doc["version"] == 1
+
+
+def test_wrong_format_rejected():
+    with pytest.raises(StoreError):
+        grid_from_dict({"format": "something-else", "version": 1})
+    with pytest.raises(StoreError):
+        grid_from_dict({"format": "repro-grid", "version": 99})
+    with pytest.raises(StoreError):
+        grid_from_dict({"format": "repro-grid", "version": 1, "separate": {"SLA": {"p": {"s": [0.5]}}}})
+
+
+def run_small_service():
+    jobs = [
+        Job(job_id=1, submit_time=0.0, runtime=50.0, estimate=50.0, procs=1,
+            deadline=1e6, budget=100.0),
+        Job(job_id=2, submit_time=5.0, runtime=50.0, estimate=50.0, procs=1,
+            deadline=10.0, budget=100.0),  # rejected: deadline < estimate
+    ]
+    service = CommercialComputingService(
+        make_policy("FCFS-BF"), make_model("bid"), total_procs=4
+    )
+    return service.run(jobs)
+
+
+def test_outcomes_csv_content():
+    csv = outcomes_to_csv(run_small_service())
+    lines = csv.strip().splitlines()
+    assert lines[0].startswith("job_id,submit_time")
+    assert len(lines) == 3
+    accepted_row = next(l for l in lines[1:] if l.startswith("1,"))
+    assert ",1," in accepted_row  # accepted flag
+    rejected_row = next(l for l in lines[1:] if l.startswith("2,"))
+    assert ",0,,," in rejected_row  # not accepted, empty start/finish
+
+
+def test_save_outcomes_file(tmp_path):
+    path = save_outcomes(run_small_service(), tmp_path / "out.csv")
+    assert path.read_text().count("\n") == 3

@@ -1,0 +1,80 @@
+"""Unit tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.riskplot import RiskPlot
+from repro.core.svgplot import SvgCanvas, render_svg, save_svg
+from repro.experiments.sampledata import sample_risk_plot
+
+
+def make_plot():
+    plot = RiskPlot(title="test <plot> & things")
+    plot.add_point("alpha", "s1", 0.1, 0.9)
+    plot.add_point("alpha", "s2", 0.3, 0.5)
+    plot.add_point("beta", "s1", 0.0, 1.0)
+    return plot
+
+
+def test_svg_is_well_formed_xml():
+    svg = render_svg(make_plot())
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+
+
+def test_title_is_escaped():
+    svg = render_svg(make_plot())
+    assert "test &lt;plot&gt; &amp; things" in svg
+
+
+def test_legend_contains_policy_names():
+    svg = render_svg(make_plot())
+    assert ">alpha</text>" in svg
+    assert ">beta</text>" in svg
+
+
+def test_trend_lines_only_where_fitted():
+    svg = render_svg(make_plot())
+    # alpha has two distinct points -> one dashed trend line; beta has one.
+    assert svg.count('stroke-dasharray="5,4"') == 1
+
+
+def test_point_count_matches():
+    plot = sample_risk_plot()
+    svg = render_svg(plot)
+    root = ET.fromstring(svg)
+    ns = "{http://www.w3.org/2000/svg}"
+    # All 8 policies x 5 scenarios render a marker each (plus 8 legend
+    # markers); markers are circles/rects/polygons/lines.
+    marks = (
+        len(root.findall(f"{ns}circle"))
+        + len(root.findall(f"{ns}rect"))
+        + len(root.findall(f"{ns}polygon"))
+    )
+    assert marks >= 8 * 5  # at least the data points
+
+
+def test_axis_labels_present():
+    svg = render_svg(make_plot())
+    assert "Volatility (Standard Deviation)" in svg
+    assert "Performance" in svg
+
+
+def test_save_svg(tmp_path):
+    path = save_svg(make_plot(), tmp_path / "plot.svg")
+    assert path.exists()
+    assert path.read_text().startswith("<svg")
+
+
+def test_unknown_marker_shape_raises():
+    canvas = SvgCanvas(100, 100)
+    with pytest.raises(ValueError):
+        canvas.marker("star", 10, 10, "#000")
+
+
+def test_values_clamped_to_plot_area():
+    plot = RiskPlot()
+    plot.add_point("p", "s", 5.0, 1.0)  # volatility beyond x_max
+    svg = render_svg(plot, x_max=0.5)
+    ET.fromstring(svg)  # still valid, point clamped to the border

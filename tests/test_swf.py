@@ -1,0 +1,100 @@
+"""Unit tests for the SWF parser/writer."""
+
+import pytest
+
+from repro.workload.job import Job
+from repro.workload.swf import (
+    SWFError,
+    SWFField,
+    iter_swf_records,
+    job_to_record,
+    parse_header,
+    parse_swf,
+    parse_swf_text,
+    write_swf,
+)
+
+SAMPLE = """\
+; Version: 2.2
+; Computer: IBM SP2
+; MaxNodes: 128
+; MaxProcs: 128
+1 0 10 3600 8 -1 -1 8 7200 -1 1 3 5 -1 1 -1 -1 -1
+2 100 0 1800 4 -1 -1 4 1800 -1 1 3 5 -1 1 -1 -1 -1
+3 250 5 -1 16 -1 -1 16 3600 -1 0 3 5 -1 1 -1 -1 -1
+4 400 5 600 -1 -1 -1 -1 900 -1 1 3 5 -1 1 -1 -1 -1
+"""
+
+
+def test_parse_basic_fields():
+    jobs = parse_swf_text(SAMPLE)
+    # Job 3 dropped (runtime -1); job 4 dropped (no processor count).
+    assert [j.job_id for j in jobs] == [1, 2]
+    j1 = jobs[0]
+    assert j1.runtime == 3600.0
+    assert j1.estimate == 7200.0
+    assert j1.trace_estimate == 7200.0
+    assert j1.procs == 8
+
+
+def test_submit_times_rebased_to_zero():
+    jobs = parse_swf_text(SAMPLE)
+    assert jobs[0].submit_time == 0.0
+    assert jobs[1].submit_time == 100.0
+
+
+def test_last_n_selects_tail():
+    jobs = parse_swf_text(SAMPLE, last_n=1)
+    assert [j.job_id for j in jobs] == [2]
+    assert jobs[0].submit_time == 0.0  # rebased
+
+
+def test_missing_estimate_falls_back_to_runtime():
+    text = "9 0 0 500 2 -1 -1 2 -1 -1 1 1 1 -1 1 -1 -1 -1\n"
+    jobs = parse_swf_text(text)
+    assert jobs[0].estimate == 500.0
+
+
+def test_allocated_procs_used_when_requested_missing():
+    text = "9 0 0 500 2 -1 -1 -1 600 -1 1 1 1 -1 1 -1 -1 -1\n"
+    jobs = parse_swf_text(text)
+    assert jobs[0].procs == 2
+
+
+def test_short_lines_padded():
+    text = "5 0 0 100 1 -1 -1 1 200\n"
+    records = list(iter_swf_records(text))
+    assert len(records[0]) == 18
+    assert records[0][SWFField.REQUESTED_MEMORY] == -1
+
+
+def test_non_numeric_field_raises():
+    with pytest.raises(SWFError):
+        list(iter_swf_records("1 0 0 abc 1 -1 -1 1 200\n"))
+
+
+def test_parse_header():
+    header = parse_header(SAMPLE)
+    assert header.get("MaxProcs") == "128"
+    assert header.get("computer") == "IBM SP2"
+    assert header.get("absent", "dflt") == "dflt"
+
+
+def test_roundtrip_through_file(tmp_path):
+    jobs = parse_swf_text(SAMPLE)
+    path = tmp_path / "out.swf"
+    write_swf(jobs, path, header={"Computer": "test"})
+    back = parse_swf(path)
+    assert [j.job_id for j in back] == [j.job_id for j in jobs]
+    assert [j.runtime for j in back] == [j.runtime for j in jobs]
+    assert [j.procs for j in back] == [j.procs for j in jobs]
+    assert path.read_text().startswith("; Computer: test")
+
+
+def test_job_to_record_fields():
+    job = Job(job_id=7, submit_time=3.0, runtime=60.0, estimate=90.0, procs=2)
+    rec = job_to_record(job)
+    assert rec[SWFField.JOB_NUMBER] == 7
+    assert rec[SWFField.RUN_TIME] == 60.0
+    assert rec[SWFField.REQUESTED_TIME] == 90.0
+    assert rec[SWFField.REQUESTED_PROCS] == 2

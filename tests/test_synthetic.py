@@ -1,0 +1,78 @@
+"""Unit tests for the synthetic SDSC-SP2-like workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload.synthetic import SDSC_SP2, TraceModel, generate_trace, trace_statistics
+
+
+def test_determinism_for_same_seed():
+    a = generate_trace(SDSC_SP2.scaled(200), rng=42)
+    b = generate_trace(SDSC_SP2.scaled(200), rng=42)
+    assert [(j.submit_time, j.runtime, j.procs) for j in a] == [
+        (j.submit_time, j.runtime, j.procs) for j in b
+    ]
+
+
+def test_different_seeds_differ():
+    a = generate_trace(SDSC_SP2.scaled(50), rng=1)
+    b = generate_trace(SDSC_SP2.scaled(50), rng=2)
+    assert [j.runtime for j in a] != [j.runtime for j in b]
+
+
+def test_first_arrival_at_zero_and_sorted():
+    jobs = generate_trace(SDSC_SP2.scaled(100), rng=0)
+    assert jobs[0].submit_time == 0.0
+    submits = [j.submit_time for j in jobs]
+    assert submits == sorted(submits)
+
+
+def test_calibration_matches_published_statistics():
+    jobs = generate_trace(SDSC_SP2, rng=0)
+    stats = trace_statistics(jobs)
+    assert stats["n_jobs"] == 5000
+    # Published: mean inter-arrival 1969 s, mean runtime 8671 s, mean 17 CPUs.
+    assert stats["mean_interarrival"] == pytest.approx(1969.0, rel=0.10)
+    assert stats["mean_runtime"] == pytest.approx(8671.0, rel=0.10)
+    assert stats["mean_procs"] == pytest.approx(17.0, rel=0.15)
+    assert stats["max_procs"] <= 128
+    # Published: 92% of estimates are over-estimates.
+    assert stats["overestimate_fraction"] == pytest.approx(0.92, abs=0.03)
+
+
+def test_runtime_floor_respected():
+    model = TraceModel(n_jobs=500, min_runtime=60.0)
+    jobs = generate_trace(model, rng=3)
+    assert min(j.runtime for j in jobs) >= 60.0
+
+
+def test_procs_within_bounds():
+    model = TraceModel(n_jobs=500, max_procs=32, proc_exponent_max=5.0)
+    jobs = generate_trace(model, rng=3)
+    assert all(1 <= j.procs <= 32 for j in jobs)
+
+
+def test_estimates_start_at_trace_values():
+    jobs = generate_trace(SDSC_SP2.scaled(100), rng=0)
+    assert all(j.estimate == j.trace_estimate for j in jobs)
+
+
+def test_invalid_job_count_raises():
+    with pytest.raises(ValueError):
+        generate_trace(SDSC_SP2.scaled(0), rng=0)
+
+
+def test_scaled_preserves_other_fields():
+    model = SDSC_SP2.scaled(10)
+    assert model.n_jobs == 10
+    assert model.mean_runtime == SDSC_SP2.mean_runtime
+
+
+def test_generator_accepts_generator_instance():
+    rng = np.random.default_rng(5)
+    jobs = generate_trace(SDSC_SP2.scaled(10), rng=rng)
+    assert len(jobs) == 10
+
+
+def test_statistics_of_empty_list():
+    assert trace_statistics([]) == {"n_jobs": 0}

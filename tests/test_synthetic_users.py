@@ -1,0 +1,38 @@
+"""Unit tests for user assignment in the synthetic generator."""
+
+import numpy as np
+
+from repro.workload.cleaning import remove_flurries
+from repro.workload.synthetic import SDSC_SP2, TraceModel, generate_trace
+
+
+def test_user_ids_assigned_and_bounded():
+    jobs = generate_trace(SDSC_SP2.scaled(500), rng=0)
+    users = [j.extra["user_id"] for j in jobs]
+    assert all(0 <= u < SDSC_SP2.n_users for u in users)
+
+
+def test_user_activity_is_skewed():
+    jobs = generate_trace(SDSC_SP2.scaled(3000), rng=1)
+    counts = np.bincount([j.extra["user_id"] for j in jobs])
+    top = np.sort(counts)[::-1]
+    # Zipf activity: the busiest user submits far more than the median user.
+    assert top[0] > 5 * max(np.median(counts), 1)
+
+
+def test_user_ids_can_be_disabled():
+    model = TraceModel(n_jobs=50, n_users=0)
+    jobs = generate_trace(model, rng=2)
+    assert all("user_id" not in j.extra for j in jobs)
+
+
+def test_cleaning_composes_with_synthetic_users():
+    jobs = generate_trace(SDSC_SP2.scaled(800), rng=3)
+    cleaned = remove_flurries(jobs, max_burst=5, window=24 * 3600.0)
+    assert 0 < len(cleaned) <= len(jobs)
+
+
+def test_deterministic_users_per_seed():
+    a = generate_trace(SDSC_SP2.scaled(100), rng=4)
+    b = generate_trace(SDSC_SP2.scaled(100), rng=4)
+    assert [j.extra["user_id"] for j in a] == [j.extra["user_id"] for j in b]

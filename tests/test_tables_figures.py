@@ -1,0 +1,95 @@
+"""Unit tests for the table/figure generators and the Fig. 1 sample data."""
+
+import pytest
+
+from repro.core.riskplot import RiskPlot
+from repro.experiments.figures import figure_1, figure_2
+from repro.experiments.sampledata import (
+    SAMPLE_POLICY_POINTS,
+    TABLE_II_PUBLISHED,
+    TABLE_III_RULES_ORDER,
+    TABLE_IV_PUBLISHED_ORDER,
+    sample_risk_plot,
+)
+from repro.experiments.tables import table_i, table_ii, table_iii, table_iv, table_v, table_vi
+
+
+def test_sample_plot_matches_published_table_ii():
+    plot = sample_risk_plot()
+    for policy, (max_p, min_p, max_v, min_v) in TABLE_II_PUBLISHED.items():
+        s = plot.series[policy]
+        assert s.max_performance == pytest.approx(max_p), policy
+        assert s.min_performance == pytest.approx(min_p), policy
+        assert s.max_volatility == pytest.approx(max_v), policy
+        assert s.min_volatility == pytest.approx(min_v), policy
+
+
+def test_sample_plot_five_scenarios_each():
+    for policy, points in SAMPLE_POLICY_POINTS.items():
+        assert len(points) == 5, policy
+
+
+def test_figure_1_is_the_sample_plot():
+    plot = figure_1()
+    assert isinstance(plot, RiskPlot)
+    assert sorted(plot.policies()) == list("ABCDEFGH")
+    assert plot.series["A"].is_ideal()
+
+
+def test_figure_2_penalty_shape():
+    data = figure_2()
+    times, utils = data["time"], data["utility"]
+    assert len(times) == len(utils)
+    # Flat at the full budget until the deadline...
+    before = [u for t, u in zip(times, utils) if t <= data["deadline_time"]]
+    assert all(u == pytest.approx(data["budget"]) for u in before)
+    # ...then strictly decreasing and eventually negative (unbounded).
+    after = [u for t, u in zip(times, utils) if t > data["deadline_time"]]
+    assert after == sorted(after, reverse=True)
+    assert after[-1] < 0.0
+
+
+def test_table_i_contents():
+    rows = table_i()
+    assert len(rows) == 4
+    assert rows[0]["abbreviation"] == "wait"
+    assert rows[0]["focus"] == "User-centric"
+    assert rows[3]["abbreviation"] == "profitability"
+    assert rows[3]["focus"] == "Provider-centric"
+
+
+def test_table_ii_differences():
+    rows = {r["policy"]: r for r in table_ii()}
+    assert rows["C"]["performance_difference"] == pytest.approx(0.5)
+    assert rows["C"]["volatility_difference"] == pytest.approx(0.7)
+    assert rows["A"]["performance_difference"] == 0.0
+    assert rows["B"]["volatility_difference"] == pytest.approx(0.3)
+
+
+def test_table_iii_follows_stated_rules():
+    order = [r["policy"] for r in table_iii()]
+    assert order == TABLE_III_RULES_ORDER
+    # A is the ideal policy: rank 1 with NA gradient.
+    assert table_iii()[0]["gradient"] == "NA"
+
+
+def test_table_iv_matches_published_ranking():
+    order = [r["policy"] for r in table_iv()]
+    assert order == TABLE_IV_PUBLISHED_ORDER
+
+
+def test_table_v_policy_matrix():
+    rows = {r["policy"]: r for r in table_v()}
+    assert len(rows) == 7
+    assert rows["SJF-BF"]["commodity_market_model"] and not rows["SJF-BF"]["bid_based_model"]
+    assert rows["LibraRiskD"]["bid_based_model"] and not rows["LibraRiskD"]["commodity_market_model"]
+    assert rows["FCFS-BF"]["commodity_market_model"] and rows["FCFS-BF"]["bid_based_model"]
+    assert rows["FirstReward"]["primary_parameter"] == "budget with penalty"
+
+
+def test_table_vi_scenario_listing():
+    rows = table_vi()
+    assert len(rows) == 12
+    workload = next(r for r in rows if r["scenario"] == "workload")
+    assert workload["values"] == [0.02, 0.10, 0.25, 0.50, 0.75, 1.00]
+    assert workload["default"] == 0.25

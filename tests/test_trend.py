@@ -1,0 +1,68 @@
+"""Unit tests for trend lines and gradient classification (paper §4.3)."""
+
+import pytest
+
+from repro.core.trend import Gradient, fit_trend
+
+
+def test_single_point_has_no_trend():
+    t = fit_trend([(0.0, 1.0)])
+    assert t.gradient is Gradient.NONE
+    assert t.slope is None
+    assert t.n_distinct == 1
+
+
+def test_identical_points_collapse_to_no_trend():
+    # Fig. 1 policy A: same ideal point in all five scenarios.
+    t = fit_trend([(0.0, 1.0)] * 5)
+    assert t.gradient is Gradient.NONE
+    assert t.n_distinct == 1
+
+
+def test_decreasing_gradient():
+    # Higher performance at lower volatility.
+    t = fit_trend([(0.1, 0.9), (0.3, 0.5), (0.5, 0.2)])
+    assert t.gradient is Gradient.DECREASING
+    assert t.slope < 0
+
+
+def test_increasing_gradient():
+    t = fit_trend([(0.1, 0.2), (0.3, 0.5), (0.5, 0.9)])
+    assert t.gradient is Gradient.INCREASING
+    assert t.slope > 0
+
+
+def test_zero_gradient_constant_performance():
+    # Fig. 1 policy B: performance 0.9 across volatility 0.3..0.6.
+    t = fit_trend([(0.3, 0.9), (0.45, 0.9), (0.6, 0.9)])
+    assert t.gradient is Gradient.ZERO
+    assert t.slope == pytest.approx(0.0, abs=1e-9)
+
+
+def test_vertical_stack_constant_performance_is_zero():
+    t = fit_trend([(0.3, 0.9), (0.3, 0.9), (0.3, 0.9)])
+    assert t.gradient is Gradient.NONE  # single distinct point
+    t = fit_trend([(0.3, 0.9), (0.3, 0.9 + 1e-12)])
+    assert t.gradient is Gradient.ZERO  # two points, same volatility & performance
+
+
+def test_vertical_spread_has_no_defined_slope():
+    t = fit_trend([(0.3, 0.2), (0.3, 0.9)])
+    assert t.gradient is Gradient.NONE
+    assert t.slope is None
+
+
+def test_predict_on_fitted_line():
+    t = fit_trend([(0.0, 0.0), (1.0, 1.0)])
+    assert t.predict(0.5) == pytest.approx(0.5)
+
+
+def test_predict_without_fit_raises():
+    t = fit_trend([(0.1, 0.5)])
+    with pytest.raises(ValueError):
+        t.predict(0.2)
+
+
+def test_empty_points_raise():
+    with pytest.raises(ValueError):
+        fit_trend([])

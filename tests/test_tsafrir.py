@@ -1,0 +1,89 @@
+"""Unit tests for the Tsafrir modal estimate model."""
+
+import numpy as np
+import pytest
+
+from repro.workload.estimates import apply_inaccuracy
+from repro.workload.synthetic import SDSC_SP2, generate_trace
+from repro.workload.tsafrir import (
+    DEFAULT_HEAD_VALUES,
+    TsafrirModel,
+    apply_tsafrir_estimates,
+    estimate_histogram,
+    modal_estimate,
+)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        TsafrirModel(head_values=())
+    with pytest.raises(ValueError):
+        TsafrirModel(head_values=(10.0, 5.0))
+    with pytest.raises(ValueError):
+        TsafrirModel(overshoot_prob=1.5)
+    with pytest.raises(ValueError):
+        TsafrirModel(underestimate_fraction=-0.1)
+
+
+def test_safe_estimate_is_next_head_value():
+    model = TsafrirModel(overshoot_prob=0.0, underestimate_fraction=0.0)
+    rng = np.random.default_rng(0)
+    # Runtime 700s -> next head is 900s.
+    assert modal_estimate(700.0, rng, model) == 900.0
+    # Exact head value maps to itself.
+    assert modal_estimate(3600.0, rng, model) == 3600.0
+
+
+def test_underestimate_picks_previous_head():
+    model = TsafrirModel(overshoot_prob=0.0, underestimate_fraction=1.0)
+    rng = np.random.default_rng(0)
+    assert modal_estimate(700.0, rng, model) == 600.0
+
+
+def test_runtime_beyond_largest_head_capped():
+    model = TsafrirModel(overshoot_prob=0.0, underestimate_fraction=0.0)
+    rng = np.random.default_rng(0)
+    big = DEFAULT_HEAD_VALUES[-1] * 3
+    # The user can only request up to the largest head value (queue limit).
+    assert modal_estimate(big, rng, model) == DEFAULT_HEAD_VALUES[-1]
+
+
+def test_estimates_are_modal():
+    jobs = generate_trace(SDSC_SP2.scaled(1500), rng=1)
+    apply_tsafrir_estimates(jobs, rng=1)
+    hist = estimate_histogram(jobs)
+    on_heads = sum(hist["head_counts"].values())
+    assert on_heads / len(jobs) > 0.9  # nearly everything sits on a spike
+    # And the spikes are few: dozens of distinct values at most.
+    distinct = {j.trace_estimate for j in jobs}
+    assert len(distinct) <= len(DEFAULT_HEAD_VALUES) + 5
+
+
+def test_underestimate_fraction_approximate():
+    jobs = generate_trace(SDSC_SP2.scaled(3000), rng=2)
+    apply_tsafrir_estimates(jobs, rng=2, model=TsafrirModel(underestimate_fraction=0.08))
+    under = np.mean([j.trace_estimate < j.runtime for j in jobs])
+    assert under == pytest.approx(0.08, abs=0.03)
+
+
+def test_composes_with_inaccuracy_sweep():
+    jobs = generate_trace(SDSC_SP2.scaled(100), rng=3)
+    apply_tsafrir_estimates(jobs, rng=3)
+    apply_inaccuracy(jobs, 0.0)
+    assert all(j.estimate == pytest.approx(j.runtime) for j in jobs)
+    apply_inaccuracy(jobs, 100.0)
+    assert all(j.estimate == pytest.approx(j.trace_estimate) for j in jobs)
+
+
+def test_deterministic_for_seed():
+    a = generate_trace(SDSC_SP2.scaled(50), rng=4)
+    b = generate_trace(SDSC_SP2.scaled(50), rng=4)
+    apply_tsafrir_estimates(a, rng=9)
+    apply_tsafrir_estimates(b, rng=9)
+    assert [j.trace_estimate for j in a] == [j.trace_estimate for j in b]
+
+
+def test_estimates_positive_even_for_tiny_runtimes():
+    model = TsafrirModel(underestimate_fraction=1.0)
+    rng = np.random.default_rng(5)
+    assert modal_estimate(10.0, rng, model) > 0.0

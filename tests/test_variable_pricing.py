@@ -1,0 +1,89 @@
+"""Unit tests for time-of-day (variable) pricing — paper §5.1."""
+
+import pytest
+
+from repro.economy.models import make_model
+from repro.economy.pricing import TimeOfDayPricing
+from repro.policies.fcfs_bf import FCFSBackfill
+from repro.service.provider import CommercialComputingService
+from repro.workload.job import Job
+
+HOUR = 3600.0
+
+
+def make_job(job_id=1, submit=0.0, runtime=100.0, budget=1e9):
+    return Job(job_id=job_id, submit_time=submit, runtime=runtime,
+               estimate=runtime, procs=1, deadline=1e9, budget=budget)
+
+
+def test_peak_detection():
+    tariff = TimeOfDayPricing(peak_start_hour=8.0, peak_end_hour=18.0)
+    assert not tariff.is_peak(3 * HOUR)
+    assert tariff.is_peak(9 * HOUR)
+    assert tariff.is_peak(17.99 * HOUR)
+    assert not tariff.is_peak(18 * HOUR)
+    # Next day wraps.
+    assert tariff.is_peak((24 + 12) * HOUR)
+
+
+def test_overnight_peak_window():
+    tariff = TimeOfDayPricing(peak_start_hour=22.0, peak_end_hour=6.0)
+    assert tariff.is_peak(23 * HOUR)
+    assert tariff.is_peak(2 * HOUR)
+    assert not tariff.is_peak(12 * HOUR)
+
+
+def test_price_levels_and_cost():
+    tariff = TimeOfDayPricing(pbase=1.0, peak_multiplier=2.5)
+    assert tariff.price_at(3 * HOUR) == 1.0
+    assert tariff.price_at(12 * HOUR) == 2.5
+    job = make_job(runtime=100.0)
+    assert tariff.cost(job, 12 * HOUR) == pytest.approx(250.0)
+    assert tariff.cost(job, 3 * HOUR) == pytest.approx(100.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TimeOfDayPricing(pbase=0.0)
+    with pytest.raises(ValueError):
+        TimeOfDayPricing(peak_multiplier=0.5)
+    with pytest.raises(ValueError):
+        TimeOfDayPricing(peak_start_hour=25.0)
+
+
+def test_policy_quotes_by_submission_hour():
+    tariff = TimeOfDayPricing(pbase=1.0, peak_multiplier=2.0,
+                              peak_start_hour=8.0, peak_end_hour=18.0)
+    jobs = [
+        make_job(1, submit=3 * HOUR, runtime=100.0),   # off-peak
+        make_job(2, submit=12 * HOUR, runtime=100.0),  # peak
+    ]
+    service = CommercialComputingService(
+        FCFSBackfill(tariff=tariff), make_model("commodity"), total_procs=4
+    )
+    result = service.run(jobs)
+    recs = {r.job.job_id: r for r in result.records}
+    assert recs[1].quoted_cost == pytest.approx(100.0)
+    assert recs[2].quoted_cost == pytest.approx(200.0)
+
+
+def test_peak_price_can_exceed_budget():
+    tariff = TimeOfDayPricing(pbase=1.0, peak_multiplier=3.0)
+    jobs = [
+        make_job(1, submit=3 * HOUR, runtime=100.0, budget=150.0),
+        make_job(2, submit=12 * HOUR, runtime=100.0, budget=150.0),
+    ]
+    service = CommercialComputingService(
+        FCFSBackfill(tariff=tariff), make_model("commodity"), total_procs=4
+    )
+    out = {o.job_id: o for o in service.run(jobs).outcomes}
+    assert out[1].accepted          # off-peak quote 100 <= 150
+    assert not out[2].accepted      # peak quote 300 > 150
+
+
+def test_flat_default_unchanged():
+    service = CommercialComputingService(
+        FCFSBackfill(), make_model("commodity"), total_procs=4
+    )
+    result = service.run([make_job(1, runtime=100.0)])
+    assert result.records[0].quoted_cost == pytest.approx(100.0)

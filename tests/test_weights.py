@@ -1,0 +1,94 @@
+"""Unit tests for weight-sensitivity analysis."""
+
+import math
+
+import pytest
+
+from repro.core.objectives import Objective
+from repro.core.separate import SeparateRisk
+from repro.core.weights import (
+    simplex_grid,
+    weight_sensitivity,
+    winner_at,
+    winner_map,
+)
+
+OBJS = [Objective.SLA, Objective.PROFITABILITY]
+
+
+def risks(sla_a=0.9, prof_a=0.2, sla_b=0.3, prof_b=0.8):
+    return {
+        "user_friendly": {
+            Objective.SLA: SeparateRisk(sla_a, 0.1),
+            Objective.PROFITABILITY: SeparateRisk(prof_a, 0.1),
+        },
+        "profit_hungry": {
+            Objective.SLA: SeparateRisk(sla_b, 0.1),
+            Objective.PROFITABILITY: SeparateRisk(prof_b, 0.1),
+        },
+    }
+
+
+def test_simplex_grid_sums_to_one():
+    grid = simplex_grid(OBJS, resolution=4)
+    for weights in grid:
+        assert math.isclose(sum(weights.values()), 1.0, abs_tol=1e-12)
+        assert all(w >= 0 for w in weights.values())
+
+
+def test_simplex_grid_counts():
+    # k=2, resolution r -> r+1 points; k=4, r=4 -> C(7,3) = 35.
+    assert len(simplex_grid(OBJS, 4)) == 5
+    assert len(simplex_grid(list(Objective), 4)) == 35
+    with pytest.raises(ValueError):
+        simplex_grid(OBJS, 0)
+    with pytest.raises(ValueError):
+        simplex_grid([], 2)
+
+
+def test_grid_includes_vertices():
+    grid = simplex_grid(OBJS, 4)
+    assert {Objective.SLA: 1.0, Objective.PROFITABILITY: 0.0} in grid
+    assert {Objective.SLA: 0.0, Objective.PROFITABILITY: 1.0} in grid
+
+
+def test_winner_at_extreme_weights():
+    r = risks()
+    assert winner_at(r, {Objective.SLA: 1.0, Objective.PROFITABILITY: 0.0}) == "user_friendly"
+    assert winner_at(r, {Objective.SLA: 0.0, Objective.PROFITABILITY: 1.0}) == "profit_hungry"
+
+
+def test_winner_tie_breaks_on_volatility():
+    r = {
+        "calm": {Objective.SLA: SeparateRisk(0.5, 0.05)},
+        "wild": {Objective.SLA: SeparateRisk(0.5, 0.30)},
+    }
+    assert winner_at(r, {Objective.SLA: 1.0}) == "calm"
+
+
+def test_winner_map_covers_grid():
+    entries = winner_map(risks(), resolution=4)
+    assert len(entries) == 5
+    winners = {w for _, w in entries}
+    assert winners == {"user_friendly", "profit_hungry"}
+
+
+def test_sensitivity_summary():
+    sens = weight_sensitivity(risks(), resolution=10)
+    assert sens.n_points == 11
+    assert sens.win_share["user_friendly"] + sens.win_share["profit_hungry"] == pytest.approx(1.0)
+    assert sens.equal_weights_winner in ("user_friendly", "profit_hungry")
+    assert sens.dominant_policy() in ("user_friendly", "profit_hungry")
+
+
+def test_dominant_policy_is_robust_when_universal():
+    r = risks(sla_a=0.9, prof_a=0.9, sla_b=0.1, prof_b=0.1)  # a dominates
+    sens = weight_sensitivity(r, resolution=6)
+    assert sens.win_share["user_friendly"] == pytest.approx(1.0)
+    assert sens.robust
+    assert sens.equal_weights_winner == "user_friendly"
+
+
+def test_empty_risks_rejected():
+    with pytest.raises(ValueError):
+        winner_map({}, 4)

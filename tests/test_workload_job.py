@@ -1,0 +1,59 @@
+"""Unit tests for the Job record."""
+
+import pytest
+
+from repro.workload.job import Job, Urgency
+
+
+def make_job(**kwargs):
+    base = dict(job_id=1, submit_time=0.0, runtime=100.0, estimate=120.0, procs=4)
+    base.update(kwargs)
+    return Job(**base)
+
+
+def test_defaults():
+    job = make_job()
+    assert job.deadline == float("inf")
+    assert job.urgency is Urgency.LOW
+    assert job.trace_estimate == 120.0  # defaults to the estimate
+
+
+def test_absolute_deadline():
+    job = make_job(submit_time=50.0, deadline=200.0)
+    assert job.absolute_deadline == 250.0
+
+
+def test_work_is_runtime_times_procs():
+    job = make_job(runtime=100.0, procs=4)
+    assert job.work == 400.0
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("runtime", -1.0),
+        ("estimate", 0.0),
+        ("estimate", -5.0),
+        ("procs", 0),
+        ("deadline", 0.0),
+        ("deadline", -10.0),
+    ],
+)
+def test_invalid_fields_raise(field, value):
+    with pytest.raises(ValueError):
+        make_job(**{field: value})
+
+
+def test_clone_is_independent():
+    job = make_job()
+    job.extra["note"] = "original"
+    copy = job.clone()
+    copy.extra["note"] = "copy"
+    copy.deadline = 42.0
+    assert job.extra["note"] == "original"
+    assert job.deadline == float("inf")
+    assert copy.deadline == 42.0
+
+
+def test_repr_mentions_id():
+    assert "#1" in repr(make_job())
