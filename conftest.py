@@ -1,0 +1,48 @@
+"""Repo-root pytest configuration.
+
+Tier-1 (`PYTHONPATH=src python -m pytest -x -q`) collects only ``tests/``
+(``testpaths`` in pyproject.toml).  The paper-exhibit benchmarks under
+``benchmarks/`` are opt-in so CI stays fast:
+
+- ``pytest benchmarks --run-bench`` — run them explicitly, or
+- ``pytest tests benchmarks -m bench`` — select them by marker.
+
+Collected benchmark items are auto-tagged with the ``bench`` marker and
+skipped unless one of the opt-ins is present.  See docs/benchmarking.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent / "benchmarks"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-bench",
+        action="store_true",
+        default=False,
+        help="run the paper-exhibit benchmarks under benchmarks/",
+    )
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_collection_modifyitems(config: pytest.Config, items: list) -> None:
+    opted_in = config.getoption("--run-bench") or "bench" in (
+        config.getoption("-m") or ""
+    )
+    skip_bench = pytest.mark.skip(
+        reason="benchmarks are opt-in: pass --run-bench or -m bench"
+    )
+    for item in items:
+        try:
+            in_bench_dir = Path(item.fspath).resolve().is_relative_to(BENCH_DIR)
+        except (OSError, ValueError):  # pragma: no cover - exotic collectors
+            in_bench_dir = False
+        if in_bench_dir:
+            item.add_marker(pytest.mark.bench)
+            if not opted_in:
+                item.add_marker(skip_bench)

@@ -1,0 +1,329 @@
+"""Deterministic benchmark harness: ``python -m repro.bench``.
+
+Three suites, two tiers (``--quick`` for CI smoke runs, ``--full`` for
+real measurement):
+
+- **engine** — raw event-calendar throughput.  A fixed cascade of
+  self-rescheduling event chains (with a deterministic cancellation churn
+  component) is driven through three simulator variants: an
+  *uninstrumented baseline* (the pre-instrumentation hot loop), the real
+  engine with perf hooks *disabled*, and the real engine with perf hooks
+  *enabled*.  The disabled-vs-baseline gap is the instrumentation's
+  disabled-path overhead, which must stay under 5 %.
+- **scenario** — one seeded policy simulation end to end
+  (workload synthesis → service → objectives), reported as jobs/sec and
+  events/sec.
+- **grid** — a reduced Table VI grid run serially and through the
+  process-pool runner, reported as wall-clock seconds and speedup.
+
+Results are written as ``BENCH_sim.json`` and ``BENCH_grid.json`` at the
+output directory (repo root by convention).  All workloads are seeded and
+size-fixed per tier, so the ``workload`` metadata block of repeated runs
+is byte-identical — only the ``metrics`` block (timings) varies.  Compare
+two runs with ``python -m repro.perf.compare``.
+
+See ``docs/benchmarking.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.experiments.runner import RunCache, run_grid, run_single
+from repro.experiments.scenarios import ExperimentConfig, scenario_by_name
+from repro.perf import PERF, capture
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+
+#: BENCH file schema version (bump on incompatible layout changes).
+BENCH_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class BenchTier:
+    """Fixed workload sizes for one benchmark tier."""
+
+    name: str
+    engine_events: int
+    engine_chains: int
+    engine_repeats: int
+    scenario_jobs: int
+    scenario_procs: int
+    scenario_policy: str
+    scenario_model: str
+    grid_jobs: int
+    grid_procs: int
+    grid_scenarios: tuple[str, ...]
+    grid_policies: tuple[str, ...]
+    grid_model: str
+    grid_workers: int
+    seed: int = 0
+
+
+QUICK = BenchTier(
+    name="quick",
+    engine_events=120_000,
+    engine_chains=64,
+    engine_repeats=3,
+    scenario_jobs=120,
+    scenario_procs=128,
+    scenario_policy="FCFS-BF",
+    scenario_model="bid",
+    grid_jobs=120,
+    grid_procs=64,
+    grid_scenarios=("job mix", "workload"),
+    grid_policies=("FCFS-BF", "EDF-BF", "Libra"),
+    grid_model="bid",
+    grid_workers=2,
+)
+
+FULL = BenchTier(
+    name="full",
+    engine_events=1_000_000,
+    engine_chains=256,
+    engine_repeats=5,
+    scenario_jobs=1000,
+    scenario_procs=128,
+    scenario_policy="FCFS-BF",
+    scenario_model="bid",
+    grid_jobs=120,
+    grid_procs=128,
+    grid_scenarios=("job mix", "workload", "deadline", "budget"),
+    grid_policies=("FCFS-BF", "Libra", "LibraRiskD"),
+    grid_model="bid",
+    grid_workers=2,
+)
+
+TIERS = {tier.name: tier for tier in (QUICK, FULL)}
+
+
+class UninstrumentedSimulator(Simulator):
+    """The engine's hot loop as it was before perf hooks existed.
+
+    Benchmarking this against the real (hooked, disabled) engine isolates
+    the disabled-path cost of the instrumentation itself.
+    """
+
+    def schedule_at(self, time_, fn, *args, priority=1):
+        if time_ < self._now:
+            raise RuntimeError("cannot schedule into the past")
+        handle = EventHandle(float(time_), int(priority), self._seq, fn, args)
+        self._seq += 1
+        self.events_scheduled += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        handle = heapq.heappop(self._heap)
+        self._now = handle.time
+        self.events_executed += 1
+        handle.fn(*handle.args)
+        return True
+
+
+def _noop() -> None:
+    pass
+
+
+def _run_engine_cascade(sim: Simulator, n_events: int, chains: int) -> float:
+    """Drive a deterministic event cascade; returns wall-clock seconds.
+
+    Each chain event reschedules itself with an arithmetic (seed-free,
+    reproducible) delay pattern; every fourth step additionally schedules
+    a victim event and cancels it, so the cancelled-event churn path is
+    part of the measured loop.
+    """
+    remaining = [n_events]
+
+    def tick(chain: int, step: int) -> None:
+        if remaining[0] <= 0:
+            return
+        remaining[0] -= 1
+        delay = 1.0 + ((chain * 31 + step * 7) % 11)
+        sim.schedule(delay, tick, chain, step + 1)
+        if step % 4 == 0:
+            victim = sim.schedule(delay * 2.0, _noop)
+            victim.cancel()
+
+    for chain in range(chains):
+        sim.schedule(1.0 + (chain % 7), tick, chain, 0)
+    t0 = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - t0
+
+
+def _one_events_per_sec(make_sim: Callable[[], Simulator], n_events: int,
+                        chains: int) -> float:
+    sim = make_sim()
+    wall = _run_engine_cascade(sim, n_events, chains)
+    return sim.events_executed / wall if wall > 0 else 0.0
+
+
+def bench_engine(tier: BenchTier) -> dict:
+    """Raw engine throughput: baseline vs disabled vs enabled hooks.
+
+    The three variants are measured in interleaved rounds (best-of-N per
+    variant) so CPU frequency drift and cache warm-up hit all of them
+    evenly rather than biasing whichever ran first.
+    """
+    prev = PERF.enabled
+    baseline = disabled = enabled = 0.0
+    try:
+        for _ in range(tier.engine_repeats):
+            PERF.enabled = False
+            baseline = max(baseline, _one_events_per_sec(
+                UninstrumentedSimulator, tier.engine_events, tier.engine_chains))
+            disabled = max(disabled, _one_events_per_sec(
+                Simulator, tier.engine_events, tier.engine_chains))
+            PERF.enabled = True
+            enabled = max(enabled, _one_events_per_sec(
+                Simulator, tier.engine_events, tier.engine_chains))
+    finally:
+        PERF.enabled = prev
+    disabled_overhead = 100.0 * (baseline - disabled) / baseline if baseline else 0.0
+    enabled_overhead = 100.0 * (baseline - enabled) / baseline if baseline else 0.0
+    return {
+        "engine_events_per_sec": disabled,
+        "engine_events_per_sec_baseline": baseline,
+        "engine_events_per_sec_enabled": enabled,
+        "perf_disabled_overhead_pct": max(disabled_overhead, 0.0),
+        "perf_enabled_overhead_pct": max(enabled_overhead, 0.0),
+    }
+
+
+def bench_scenario(tier: BenchTier) -> dict:
+    """One end-to-end policy simulation under the perf registry."""
+    config = ExperimentConfig(
+        n_jobs=tier.scenario_jobs, total_procs=tier.scenario_procs, seed=tier.seed
+    )
+    with capture() as perf:
+        t0 = time.perf_counter()
+        run_single(config, tier.scenario_policy, tier.scenario_model)
+        wall = time.perf_counter() - t0
+        events = perf.counters.get("sim.events_executed", 0)
+        latency = perf.histograms.get("sim.dispatch_latency_s")
+        mean_latency = latency.mean if latency is not None else 0.0
+    wall = max(wall, 1e-12)
+    return {
+        "scenario_wall_s": wall,
+        "scenario_jobs_per_sec": tier.scenario_jobs / wall,
+        "scenario_events_per_sec": events / wall,
+        "scenario_dispatch_latency_mean_s": mean_latency,
+    }
+
+
+def bench_grid(tier: BenchTier) -> dict:
+    """Reduced Table VI grid: serial vs process-pool wall clock."""
+    from repro.experiments.parallel import run_grid_parallel
+
+    scenarios = [scenario_by_name(name) for name in tier.grid_scenarios]
+    config = ExperimentConfig(
+        n_jobs=tier.grid_jobs, total_procs=tier.grid_procs, seed=tier.seed
+    )
+    serial_cache = RunCache()
+    t0 = time.perf_counter()
+    run_grid(tier.grid_policies, tier.grid_model, config, "A", scenarios, serial_cache)
+    serial_wall = max(time.perf_counter() - t0, 1e-12)
+
+    parallel_cache = RunCache()
+    t0 = time.perf_counter()
+    run_grid_parallel(
+        tier.grid_policies, tier.grid_model, config, "A", scenarios,
+        n_workers=tier.grid_workers, cache=parallel_cache,
+    )
+    parallel_wall = max(time.perf_counter() - t0, 1e-12)
+    return {
+        "grid_serial_wall_s": serial_wall,
+        "grid_parallel_wall_s": parallel_wall,
+        "grid_speedup": serial_wall / parallel_wall,
+        "grid_sims_per_sec": serial_cache.misses / serial_wall,
+        "grid_unique_simulations": serial_cache.misses,
+    }
+
+
+def _sim_workload(tier: BenchTier) -> dict:
+    return {
+        "engine_events": tier.engine_events,
+        "engine_chains": tier.engine_chains,
+        "engine_repeats": tier.engine_repeats,
+        "scenario_jobs": tier.scenario_jobs,
+        "scenario_procs": tier.scenario_procs,
+        "scenario_policy": tier.scenario_policy,
+        "scenario_model": tier.scenario_model,
+        "seed": tier.seed,
+    }
+
+
+def _grid_workload(tier: BenchTier) -> dict:
+    return {
+        "n_jobs": tier.grid_jobs,
+        "total_procs": tier.grid_procs,
+        "scenarios": list(tier.grid_scenarios),
+        "policies": list(tier.grid_policies),
+        "model": tier.grid_model,
+        "n_workers": tier.grid_workers,
+        "seed": tier.seed,
+    }
+
+
+def write_bench(path: Union[str, Path], suite: str, tier: BenchTier,
+                workload: dict, metrics: dict) -> Path:
+    """Write one machine-readable BENCH payload."""
+    path = Path(path)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "tier": tier.name,
+        "workload": workload,
+        "metrics": metrics,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def run_suite(
+    tier: BenchTier = QUICK,
+    output_dir: Union[str, Path] = ".",
+    only: Optional[str] = None,
+    echo: Callable[[str], None] = print,
+) -> dict[str, Path]:
+    """Run the selected suites and write BENCH_*.json files.
+
+    ``only`` restricts to ``"sim"`` (engine + scenario) or ``"grid"``;
+    the default runs both.  Returns the paths written keyed by suite.
+    """
+    from repro.experiments.report import format_table
+
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+    if only in (None, "sim"):
+        metrics = bench_engine(tier)
+        metrics.update(bench_scenario(tier))
+        path = write_bench(out / "BENCH_sim.json", "sim", tier, _sim_workload(tier), metrics)
+        written["sim"] = path
+        echo(format_table(
+            [{"metric": k, "value": v} for k, v in sorted(metrics.items())],
+            title=f"sim suite ({tier.name}) → {path}",
+        ))
+    if only in (None, "grid"):
+        metrics = bench_grid(tier)
+        path = write_bench(out / "BENCH_grid.json", "grid", tier, _grid_workload(tier), metrics)
+        written["grid"] = path
+        echo(format_table(
+            [{"metric": k, "value": v} for k, v in sorted(metrics.items())],
+            title=f"grid suite ({tier.name}) → {path}",
+        ))
+    return written

@@ -1,0 +1,44 @@
+"""CLI for the benchmark harness: ``python -m repro.bench [--quick|--full]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench import TIERS, run_suite
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Deterministic performance benchmarks; writes BENCH_sim.json "
+        "and BENCH_grid.json (compare runs with python -m repro.perf.compare).",
+    )
+    tier_group = parser.add_mutually_exclusive_group()
+    tier_group.add_argument(
+        "--quick", action="store_const", const="quick", dest="tier",
+        help="CI smoke tier (default; completes in well under a minute)",
+    )
+    tier_group.add_argument(
+        "--full", action="store_const", const="full", dest="tier",
+        help="measurement tier (larger fixed workloads)",
+    )
+    parser.set_defaults(tier="quick")
+    parser.add_argument(
+        "--only", choices=("sim", "grid"), default=None,
+        help="run a single suite instead of both",
+    )
+    parser.add_argument(
+        "--output-dir", default=".",
+        help="directory for BENCH_*.json (default: current directory)",
+    )
+    args = parser.parse_args(argv)
+    written = run_suite(TIERS[args.tier], output_dir=args.output_dir, only=args.only)
+    for suite, path in written.items():
+        print(f"{suite}: wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

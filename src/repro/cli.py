@@ -27,6 +27,7 @@ from repro.experiments import tables as tables_mod
 from repro.experiments.report import format_table, summarize_figure, summarize_plot
 from repro.experiments.runner import RunCache, build_workload, run_grid
 from repro.experiments.scenarios import SCENARIOS, ExperimentConfig
+from repro.perf import capture as perf_capture
 from repro.policies import BID_POLICIES, COMMODITY_POLICIES, POLICIES, make_policy
 from repro.service.provider import CommercialComputingService
 from repro.workload.swf import parse_swf
@@ -98,7 +99,10 @@ def cmd_run(args) -> int:
     service = CommercialComputingService(
         make_policy(args.policy), make_model(args.model), total_procs=config.total_procs
     )
-    result = service.run(jobs)
+    with perf_capture() as perf:
+        result = service.run(jobs)
+        elapsed = perf.elapsed
+        events = perf.counters.get("sim.events_executed", 0)
     objs = result.objectives()
     print(format_table([
         {"metric": "jobs submitted", "value": len(result.outcomes)},
@@ -111,6 +115,11 @@ def cmd_run(args) -> int:
         {"metric": "total utility", "value": result.ledger.total_utility},
         {"metric": "penalties", "value": result.ledger.total_penalties},
     ], title=f"{args.policy} on {args.model} model (Set {args.set}, {config.n_jobs} jobs)"))
+    elapsed = max(elapsed, 1e-12)
+    print(
+        f"throughput: {len(jobs) / elapsed:,.0f} jobs/s, "
+        f"{events / elapsed:,.0f} events/s ({elapsed:.3f}s wall)"
+    )
     return 0
 
 

@@ -20,6 +20,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.cluster.node import REFERENCE_RATING, Node
 from repro.cluster.profile import Release
+from repro.perf.registry import PERF
 from repro.sim.engine import Simulator
 from repro.sim.events import EventHandle, Priority
 from repro.workload.job import Job
@@ -142,6 +143,9 @@ class SpaceSharedCluster:
             priority=Priority.COMPLETION,
         )
         self._running[job.job_id] = record
+        if PERF.enabled:
+            PERF.incr("cluster.space.jobs_started")
+            PERF.observe("cluster.space.utilization_at_start", self.utilization())
         return record
 
     def _complete(self, record: RunningJob, on_finish) -> None:
@@ -151,6 +155,8 @@ class SpaceSharedCluster:
             self._free_nodes.extend(record.nodes)
             self._free_nodes.sort(key=lambda i: (-self.nodes[i].speed_factor, i))
         assert self.free_procs <= self.total_procs
+        if PERF.enabled:
+            PERF.incr("cluster.space.jobs_completed")
         on_finish(record.job, self.sim.now)
 
     # ------------------------------------------------------------------

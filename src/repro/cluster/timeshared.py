@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from repro.perf.registry import PERF
 from repro.sim.engine import Simulator
 from repro.sim.events import EventHandle, Priority
 from repro.workload.job import Job
@@ -172,6 +173,9 @@ class TimeSharedCluster:
         for node in nodes:
             self.committed[node] += share
             self.node_jobs[node].add(job.job_id)
+        if PERF.enabled:
+            PERF.incr("cluster.time.jobs_admitted")
+            PERF.observe("cluster.time.committed_share", share)
         self._reschedule_all()
         return state
 
@@ -216,6 +220,9 @@ class TimeSharedCluster:
 
     def _reschedule_all(self) -> None:
         """Recompute every job's rate and (re)schedule its completion."""
+        if PERF.enabled:
+            PERF.incr("cluster.time.reschedules")
+            PERF.observe("cluster.time.active_jobs", len(self._states))
         rates = self._rates_snapshot()
         for state in self._states.values():
             state.rate = rates[state.job.job_id]
@@ -242,6 +249,8 @@ class TimeSharedCluster:
                 self.committed[node] = 0.0
             self.node_jobs[node].discard(state.job.job_id)
         state.completion = None
+        if PERF.enabled:
+            PERF.incr("cluster.time.jobs_completed")
         self._reschedule_all()
         state._on_finish(state.job, self.sim.now)  # type: ignore[attr-defined]
 

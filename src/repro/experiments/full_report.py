@@ -29,10 +29,17 @@ from repro.experiments import figures as figures_mod
 from repro.experiments import tables as tables_mod
 from repro.experiments.gnuplot import export_figure, export_plot
 from repro.experiments.parallel import run_grid_parallel
-from repro.experiments.report import format_table, summarize_figure, summarize_plot
+from repro.experiments.report import (
+    format_table,
+    perf_summary,
+    summarize_figure,
+    summarize_plot,
+)
 from repro.experiments.runner import GridAnalysis, RunCache
 from repro.experiments.scenarios import SCENARIOS, ExperimentConfig
 from repro.experiments.store import save_grid
+from repro.perf import PERF
+from repro.perf import capture as perf_capture
 from repro.policies import BID_POLICIES, COMMODITY_POLICIES
 
 _TABLES = {
@@ -77,22 +84,32 @@ def generate_report(
         record(path)
 
     # -- grids ------------------------------------------------------------------
+    # The grid runs execute under the perf registry so the report can state
+    # its own throughput (jobs/sec, events/sec) alongside the exhibits.
     grids: dict[tuple[str, str], GridAnalysis] = {}
-    for model, policies in (("commodity", COMMODITY_POLICIES), ("bid", BID_POLICIES)):
-        for set_name in ("A", "B"):
-            grid = run_grid_parallel(
-                policies, model, base, set_name, scenarios,
-                n_workers=n_workers, cache=cache,
-            )
-            grids[(model, set_name)] = grid
-            path = out / "grids" / f"grid_{model}_set{set_name}.json"
-            path.parent.mkdir(parents=True, exist_ok=True)
-            save_grid(grid, path)
-            record(path)
-            rec = recommend_policy(
-                grid.separate, volatility_tolerance=volatility_tolerance
-            )
-            index["recommendations"][f"{model}/Set {set_name}"] = rec
+    with perf_capture():
+        for model, policies in (("commodity", COMMODITY_POLICIES), ("bid", BID_POLICIES)):
+            for set_name in ("A", "B"):
+                grid = run_grid_parallel(
+                    policies, model, base, set_name, scenarios,
+                    n_workers=n_workers, cache=cache,
+                )
+                grids[(model, set_name)] = grid
+                path = out / "grids" / f"grid_{model}_set{set_name}.json"
+                path.parent.mkdir(parents=True, exist_ok=True)
+                save_grid(grid, path)
+                record(path)
+                rec = recommend_policy(
+                    grid.separate, volatility_tolerance=volatility_tolerance
+                )
+                index["recommendations"][f"{model}/Set {set_name}"] = rec
+        perf_snapshot = PERF.snapshot()
+    perf_text = perf_summary(perf_snapshot, title="experiment throughput")
+    if perf_text:
+        path = out / "perf.txt"
+        _write(path, perf_text)
+        record(path)
+    index["perf"] = perf_snapshot
 
     # -- figures ---------------------------------------------------------------
     fig1 = figures_mod.figure_1()
@@ -126,6 +143,7 @@ def generate_report(
         f"- configuration: {base.n_jobs} jobs × {base.total_procs} nodes, seed {base.seed}",
         f"- scenarios: {len(list(scenarios))} × 6 values; "
         f"simulations: {cache.misses} unique runs ({cache.hits} cache hits)",
+        _throughput_line(perf_snapshot),
         "",
         "## Four-objective rankings (integrated risk analysis)",
         "",
@@ -150,3 +168,24 @@ def generate_report(
 def _mk(path: Path) -> Path:
     path.mkdir(parents=True, exist_ok=True)
     return path
+
+
+def _throughput_line(snapshot: dict) -> str:
+    """One README bullet summarising the run's own throughput."""
+    counters = snapshot.get("counters", {})
+    elapsed = max(float(snapshot.get("elapsed_s", 0.0)), 1e-12)
+    jobs = counters.get("runner.jobs_simulated", 0)
+    events = counters.get("sim.events_executed", 0)
+    if jobs == 0 and counters.get("runner.parallel_dispatches", 0):
+        # Simulations ran in worker processes; only dispatch counts are
+        # visible in the parent registry.
+        dispatched = counters["runner.parallel_dispatches"]
+        return (
+            f"- throughput: {dispatched / elapsed:,.2f} simulations/s "
+            f"across workers over {elapsed:.1f}s (see perf.txt)"
+        )
+    return (
+        f"- throughput: {jobs / elapsed:,.0f} jobs/s, "
+        f"{events / elapsed:,.0f} events/s over {elapsed:.1f}s "
+        "(see perf.txt)"
+    )

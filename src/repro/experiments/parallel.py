@@ -19,10 +19,13 @@ runner when ``n_workers <= 1``.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Optional, Sequence
 
+from repro.core.normalize import normalize_runs
 from repro.core.objectives import Objective, ObjectiveSet
+from repro.core.separate import separate_risk
 from repro.experiments.runner import (
     GridAnalysis,
     RunCache,
@@ -30,8 +33,7 @@ from repro.experiments.runner import (
     run_single,
 )
 from repro.experiments.scenarios import SCENARIOS, ExperimentConfig, Scenario
-from repro.core.normalize import normalize_runs
-from repro.core.separate import separate_risk
+from repro.perf.registry import PERF
 
 
 def _worker(item: tuple) -> tuple:
@@ -67,8 +69,14 @@ def run_grid_parallel(
 
     base = base.for_set(set_name)
     cache = cache if cache is not None else RunCache()
+    t0 = time.perf_counter()
 
-    # 1. Collect the unique work items of the whole grid.
+    # 1. Collect the unique work items of the whole grid, counting cache
+    # hits/misses exactly as the serial runner would: every logical
+    # (config, policy) access is one lookup — the first access of a key not
+    # already cached is a miss, every other access is a hit.  Step 3 below
+    # reads the cache without touching the counters, so serial and parallel
+    # grids report identical statistics.
     items: list[tuple] = []
     seen: set = set()
     for scenario in scenarios:
@@ -76,8 +84,10 @@ def run_grid_parallel(
             for policy in policies:
                 key = (config.key(), policy, model_name)
                 if key in seen or cache.get(config, policy, model_name) is not None:
+                    cache.hits += 1
                     continue
                 seen.add(key)
+                cache.misses += 1
                 items.append((config, policy, model_name))
 
     # 2. Fan out.
@@ -87,16 +97,23 @@ def run_grid_parallel(
                 _worker, items, chunksize=1
             ):
                 cache.put(config, policy, model, objectives)
-                cache.misses += 1
 
-    # 3. Reduce exactly as the serial runner does (all runs now cached).
+    # 3. Reduce exactly as the serial runner does (all runs now cached;
+    # the lookups were already accounted for in step 1).
+    def _cached_run(cfg: ExperimentConfig, policy: str) -> ObjectiveSet:
+        value = cache.get(cfg, policy, model_name)
+        if value is None:  # pragma: no cover - defensive (a worker died)
+            value = run_single(cfg, policy, model_name)
+            cache.put(cfg, policy, model_name, value)
+        return value
+
     separate: dict[Objective, dict[str, dict[str, object]]] = {
         objective: {policy: {} for policy in policies} for objective in Objective
     }
     for scenario in scenarios:
         configs = scenario.configs(base)
         runs: list[list[ObjectiveSet]] = [
-            [run_single(cfg, policy, model_name, cache) for cfg in configs]
+            [_cached_run(cfg, policy) for cfg in configs]
             for policy in policies
         ]
         normalized = normalize_runs(runs)
@@ -104,6 +121,10 @@ def run_grid_parallel(
             grid = normalized[objective]
             for p, policy in enumerate(policies):
                 separate[objective][policy][scenario.name] = separate_risk(grid[p])
+    if PERF.enabled:
+        PERF.add_time("runner.grid_parallel_s", time.perf_counter() - t0)
+        PERF.incr("runner.grids")
+        PERF.incr("runner.parallel_dispatches", len(items))
     return GridAnalysis(
         model=model_name,
         set_name=set_name,

@@ -7,7 +7,7 @@ risk plot with its policy legend.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.core.ranking import rank_policies
 from repro.core.riskplot import RiskPlot
@@ -67,3 +67,56 @@ def summarize_figure(panels: Mapping[str, RiskPlot], include_ascii: bool = False
     return "\n\n".join(
         summarize_plot(panels[k], include_ascii=include_ascii) for k in sorted(panels)
     )
+
+
+def perf_summary(snapshot: Optional[Mapping] = None, title: str = "performance") -> str:
+    """Human-readable rendering of a perf-registry snapshot.
+
+    With no argument the live global registry is summarised
+    (:data:`repro.perf.PERF`), so any experiment run executed under
+    :func:`repro.perf.capture` can state its own throughput.  Returns an
+    empty string when nothing was recorded.
+    """
+    if snapshot is None:
+        from repro.perf import PERF
+
+        snapshot = PERF.snapshot()
+    counters: Mapping = snapshot.get("counters", {})
+    timers: Mapping = snapshot.get("timers", {})
+    histograms: Mapping = snapshot.get("histograms", {})
+    if not counters and not timers and not histograms:
+        return ""
+    elapsed = max(float(snapshot.get("elapsed_s", 0.0)), 1e-12)
+    parts = []
+    if counters:
+        rows = [
+            {"counter": name, "value": int(value), "per_sec": value / elapsed}
+            for name, value in sorted(counters.items())
+        ]
+        parts.append(format_table(rows, title=f"{title} — counters ({elapsed:.2f}s window)"))
+    if timers:
+        rows = [
+            {
+                "timer": name,
+                "calls": stat["count"],
+                "total_s": stat["total"],
+                "mean_s": stat["mean"],
+                "max_s": stat["max"],
+            }
+            for name, stat in sorted(timers.items())
+        ]
+        parts.append(format_table(rows, title=f"{title} — timers"))
+    if histograms:
+        rows = [
+            {
+                "histogram": name,
+                "count": stat["count"],
+                "mean": stat["mean"],
+                "std": stat["std"],
+                "min": stat["min"],
+                "max": stat["max"],
+            }
+            for name, stat in sorted(histograms.items())
+        ]
+        parts.append(format_table(rows, title=f"{title} — histograms"))
+    return "\n\n".join(parts)

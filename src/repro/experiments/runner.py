@@ -12,6 +12,7 @@ scenarios, so a full grid reuses it eleven times per policy.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
@@ -22,6 +23,7 @@ from repro.core.riskplot import RiskPlot
 from repro.core.separate import SeparateRisk, separate_risk
 from repro.economy.models import make_model
 from repro.experiments.scenarios import SCENARIOS, ExperimentConfig, Scenario
+from repro.perf.registry import PERF
 from repro.policies import make_policy
 from repro.service.provider import CommercialComputingService
 from repro.sim.rng import RngStreams
@@ -85,13 +87,22 @@ def run_single(
         cached = cache.get(config, policy_name, model_name)
         if cached is not None:
             cache.hits += 1
+            if PERF.enabled:
+                PERF.incr("runner.cache_hits")
             return cached
         cache.misses += 1
+        if PERF.enabled:
+            PERF.incr("runner.cache_misses")
+    t0 = time.perf_counter()
     jobs = build_workload(config)
     service = CommercialComputingService(
         make_policy(policy_name), make_model(model_name), total_procs=config.total_procs
     )
     objectives = service.run(jobs).objectives()
+    if PERF.enabled:
+        PERF.add_time("runner.run_single_s", time.perf_counter() - t0)
+        PERF.incr("runner.simulations")
+        PERF.incr("runner.jobs_simulated", len(jobs))
     if cache is not None:
         cache.put(config, policy_name, model_name, objectives)
     return objectives
@@ -190,11 +201,15 @@ def run_grid(
     separate: dict[Objective, dict[str, dict[str, SeparateRisk]]] = {
         objective: {policy: {} for policy in policies} for objective in Objective
     }
+    t0 = time.perf_counter()
     for scenario in scenarios:
         result = run_scenario(scenario, policies, model_name, base, cache, wait_method)
         for objective in Objective:
             for policy in policies:
                 separate[objective][policy][scenario.name] = result[objective][policy]
+    if PERF.enabled:
+        PERF.add_time("runner.grid_serial_s", time.perf_counter() - t0)
+        PERF.incr("runner.grids")
     return GridAnalysis(
         model=model_name,
         set_name=set_name,

@@ -1,0 +1,35 @@
+"""Performance instrumentation and benchmarking support.
+
+- :mod:`repro.perf.registry` — the :data:`~repro.perf.registry.PERF`
+  singleton of counters, timers, and histograms that the simulator,
+  clusters, policies, and experiment runners report into when enabled.
+- :mod:`repro.perf.compare` — diff two ``BENCH_*.json`` files written by
+  ``python -m repro.bench`` and fail on regressions.
+
+Instrumentation is off by default; see :func:`enable` /
+:func:`capture`.  ``docs/benchmarking.md`` documents the workflow.
+"""
+
+from repro.perf.registry import (
+    PERF,
+    PerfRegistry,
+    StreamingStat,
+    capture,
+    disable,
+    enable,
+    is_enabled,
+    reset,
+    snapshot,
+)
+
+__all__ = [
+    "PERF",
+    "PerfRegistry",
+    "StreamingStat",
+    "capture",
+    "disable",
+    "enable",
+    "is_enabled",
+    "reset",
+    "snapshot",
+]

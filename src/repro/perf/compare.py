@@ -1,0 +1,165 @@
+"""Compare two ``BENCH_*.json`` files and fail on regressions.
+
+``python -m repro.perf.compare baseline.json current.json [--threshold 10]``
+exits non-zero when any directional metric got worse than the threshold
+percentage.  Direction is inferred from the metric name:
+
+- ``*_per_sec`` and ``*speedup`` are **higher-is-better**;
+- ``*_wall_s`` / ``*_s`` and ``*overhead_pct`` are **lower-is-better**;
+- anything else (workload metadata echoes, raw counts) is informational
+  and never fails the comparison.
+
+The machine-readable result of :func:`compare_metrics` is also used by the
+test suite to assert that an injected regression is caught.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+#: name suffixes that mark a metric "higher is better".
+HIGHER_IS_BETTER = ("_per_sec", "speedup")
+#: name suffixes that mark a metric "lower is better".
+LOWER_IS_BETTER = ("_wall_s", "_s", "overhead_pct")
+
+
+@dataclass
+class MetricDelta:
+    """Outcome of comparing one metric across two BENCH files."""
+
+    name: str
+    baseline: float
+    current: float
+    change_pct: float  # signed: positive = current larger than baseline
+    direction: str  # "higher", "lower", or "info"
+    regressed: bool
+
+    def as_row(self) -> dict:
+        return {
+            "metric": self.name,
+            "baseline": self.baseline,
+            "current": self.current,
+            "change_pct": self.change_pct,
+            "direction": self.direction,
+            "status": "REGRESSED" if self.regressed else "ok",
+        }
+
+
+def metric_direction(name: str) -> str:
+    """Classify a metric name as ``higher``, ``lower``, or ``info``."""
+    if name.endswith(HIGHER_IS_BETTER):
+        return "higher"
+    if name.endswith(LOWER_IS_BETTER):
+        return "lower"
+    return "info"
+
+
+def load_bench(path: Union[str, Path]) -> dict:
+    """Read one BENCH_*.json file (as written by ``python -m repro.bench``)."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if "metrics" not in data:
+        raise ValueError(f"{path}: not a BENCH file (no 'metrics' key)")
+    return data
+
+
+def compare_metrics(
+    baseline: dict,
+    current: dict,
+    threshold_pct: float = 10.0,
+) -> list[MetricDelta]:
+    """Compare the ``metrics`` sections of two BENCH payloads.
+
+    A directional metric regresses when it moved in the bad direction by
+    more than ``threshold_pct`` percent of the baseline value.  Metrics
+    present on only one side are skipped (reported by the CLI as a note,
+    not a failure, so BENCH schemas can grow).
+    """
+    base = baseline.get("metrics", {})
+    cur = current.get("metrics", {})
+    deltas: list[MetricDelta] = []
+    for name in sorted(set(base) & set(cur)):
+        b, c = base[name], cur[name]
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+            continue
+        change = 100.0 * (c - b) / b if b else 0.0
+        direction = metric_direction(name)
+        regressed = False
+        if direction == "higher":
+            regressed = change < -threshold_pct
+        elif direction == "lower":
+            regressed = change > threshold_pct
+        deltas.append(MetricDelta(name, float(b), float(c), change, direction, regressed))
+    return deltas
+
+
+def regressions(deltas: Sequence[MetricDelta]) -> list[MetricDelta]:
+    return [d for d in deltas if d.regressed]
+
+
+def format_deltas(deltas: Sequence[MetricDelta]) -> str:
+    """Human-readable comparison table."""
+    from repro.experiments.report import format_table
+
+    rows = [d.as_row() for d in deltas]
+    if not rows:
+        return "(no comparable metrics)"
+    return format_table(rows, title="benchmark comparison")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.compare",
+        description="Diff two BENCH_*.json files; exit 1 on regression.",
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="regression threshold in percent (default 10)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        base = load_bench(args.baseline)
+        cur = load_bench(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for key in ("suite", "tier"):
+        if base.get(key) != cur.get(key):
+            print(
+                f"error: BENCH files are not comparable: {key} "
+                f"{base.get(key)!r} vs {cur.get(key)!r}",
+                file=sys.stderr,
+            )
+            return 2
+    if base.get("workload") != cur.get("workload"):
+        print(
+            "warning: workload metadata differs between the two runs; "
+            "timings are not apples-to-apples",
+            file=sys.stderr,
+        )
+    deltas = compare_metrics(base, cur, threshold_pct=args.threshold)
+    print(format_deltas(deltas))
+    missing = sorted(set(base["metrics"]) ^ set(cur["metrics"]))
+    if missing:
+        print(f"note: metrics present on one side only: {', '.join(missing)}")
+    bad = regressions(deltas)
+    if bad:
+        print(
+            f"FAIL: {len(bad)} metric(s) regressed beyond "
+            f"{args.threshold:g}%: {', '.join(d.name for d in bad)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: no regression beyond {args.threshold:g}%")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

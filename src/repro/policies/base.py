@@ -12,6 +12,7 @@ import abc
 from typing import Optional
 
 from repro.economy.pricing import PricingParams, flat_cost
+from repro.perf.registry import PERF
 from repro.sim.engine import Simulator
 from repro.workload.job import Job
 
@@ -59,6 +60,9 @@ class Policy(abc.ABC):
 
     # -- shared helpers ---------------------------------------------------------
     def _reject(self, job: Job, reason: str) -> None:
+        if PERF.enabled:
+            PERF.incr("policy.decisions")
+            PERF.incr("policy.rejections")
         self.service.notify_rejected(job, reason)
 
     def _budget_ok(self, job: Job) -> tuple[bool, float]:
@@ -67,5 +71,8 @@ class Policy(abc.ABC):
         Returns (admissible, quoted_cost); the quote is recorded on
         acceptance so commodity settlement charges exactly what was agreed.
         """
+        if PERF.enabled:
+            PERF.incr("policy.decisions")
+            PERF.incr("policy.quotes")
         cost = self.expected_cost(job)
         return self.service.economically_admissible(job, cost), cost

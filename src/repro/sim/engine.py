@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from typing import Any, Callable, Optional
 
+from repro.perf.registry import PERF
 from repro.sim.events import EventHandle, Priority
 
 
@@ -42,6 +44,9 @@ class Simulator:
         self._running = False
         self.events_executed = 0
         self.events_scheduled = 0
+        # Single-attribute alias so the disabled instrumentation path is one
+        # load + one falsy test per event (see repro.perf.registry).
+        self._perf = PERF
 
     @property
     def now(self) -> float:
@@ -76,6 +81,9 @@ class Simulator:
         self._seq += 1
         self.events_scheduled += 1
         heapq.heappush(self._heap, handle)
+        if self._perf.enabled:
+            self._perf.incr("sim.events_scheduled")
+            self._perf.observe("sim.heap_depth", len(self._heap))
         return handle
 
     def cancel(self, handle: EventHandle) -> None:
@@ -88,8 +96,12 @@ class Simulator:
         return self._heap[0].time if self._heap else None
 
     def _drop_cancelled(self) -> None:
+        # Counting only happens after a pop, so the common no-cancellation
+        # path costs exactly what it did before instrumentation.
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            if self._perf.enabled:
+                self._perf.incr("sim.cancelled_dropped")
 
     def step(self) -> bool:
         """Execute the next pending event.
@@ -105,7 +117,14 @@ class Simulator:
             raise SimulationError("event list corrupted: time went backwards")
         self._now = handle.time
         self.events_executed += 1
-        handle.fn(*handle.args)
+        perf = self._perf
+        if perf.enabled:
+            t0 = time.perf_counter()
+            handle.fn(*handle.args)
+            perf.observe("sim.dispatch_latency_s", time.perf_counter() - t0)
+            perf.incr("sim.events_executed")
+        else:
+            handle.fn(*handle.args)
         return True
 
     def run(

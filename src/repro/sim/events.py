@@ -6,6 +6,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.perf.registry import PERF
+
 
 class Priority(enum.IntEnum):
     """Ordering of events that share the same timestamp.
@@ -40,7 +42,10 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if PERF.enabled:
+                PERF.incr("sim.events_cancelled")
 
     def sort_key(self) -> tuple[float, int, int]:
         return (self.time, self.priority, self.seq)

@@ -1,0 +1,186 @@
+"""Tests for the benchmark harness (repro.bench) and BENCH comparison."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    QUICK,
+    BenchTier,
+    UninstrumentedSimulator,
+    bench_engine,
+    bench_grid,
+    bench_scenario,
+    run_suite,
+)
+from repro.perf import PERF
+from repro.perf.compare import (
+    compare_metrics,
+    load_bench,
+    main as compare_main,
+    metric_direction,
+    regressions,
+)
+
+#: a miniature tier so the harness itself can be tested in milliseconds.
+TINY = BenchTier(
+    name="quick",  # report as quick: tier names are part of the schema
+    engine_events=2000,
+    engine_chains=8,
+    engine_repeats=1,
+    scenario_jobs=10,
+    scenario_procs=16,
+    scenario_policy="FCFS-BF",
+    scenario_model="bid",
+    grid_jobs=8,
+    grid_procs=16,
+    grid_scenarios=("job mix",),
+    grid_policies=("FCFS-BF",),
+    grid_model="bid",
+    grid_workers=1,
+)
+
+
+@pytest.fixture(autouse=True)
+def _registry_off():
+    PERF.enabled = False
+    PERF.reset()
+    yield
+    PERF.enabled = False
+    PERF.reset()
+
+
+def test_uninstrumented_simulator_matches_engine_semantics():
+    from repro.sim.engine import Simulator
+
+    fired_a, fired_b = [], []
+    for sim, out in ((Simulator(), fired_a), (UninstrumentedSimulator(), fired_b)):
+        sim.schedule(2.0, out.append, "late")
+        h = sim.schedule(1.5, out.append, "cancelled")
+        sim.schedule(1.0, out.append, "early")
+        h.cancel()
+        sim.run()
+    assert fired_a == fired_b == ["early", "late"]
+
+
+def test_bench_engine_reports_three_variants():
+    metrics = bench_engine(TINY)
+    assert metrics["engine_events_per_sec"] > 0
+    assert metrics["engine_events_per_sec_baseline"] > 0
+    assert metrics["engine_events_per_sec_enabled"] > 0
+    assert metrics["perf_disabled_overhead_pct"] >= 0.0
+    assert not PERF.enabled  # restored
+
+
+def test_bench_scenario_reports_jobs_and_events_per_sec():
+    metrics = bench_scenario(TINY)
+    assert metrics["scenario_jobs_per_sec"] > 0
+    assert metrics["scenario_events_per_sec"] > 0
+    assert metrics["scenario_wall_s"] > 0
+
+
+def test_bench_grid_reports_walls_and_speedup():
+    metrics = bench_grid(TINY)
+    assert metrics["grid_serial_wall_s"] > 0
+    assert metrics["grid_parallel_wall_s"] > 0
+    assert metrics["grid_speedup"] > 0
+    assert metrics["grid_unique_simulations"] == 6  # 1 scenario × 6 values × 1 policy
+
+
+def test_run_suite_writes_deterministic_workload_metadata(tmp_path):
+    out1 = tmp_path / "run1"
+    out2 = tmp_path / "run2"
+    first = run_suite(TINY, output_dir=out1, echo=lambda _: None)
+    second = run_suite(TINY, output_dir=out2, echo=lambda _: None)
+    assert set(first) == {"sim", "grid"}
+    for suite in ("sim", "grid"):
+        a = json.loads(first[suite].read_text())
+        b = json.loads(second[suite].read_text())
+        assert a["schema"] == BENCH_SCHEMA
+        assert a["tier"] == "quick"
+        # Fixed seeds and sizes: metadata identical across repeated runs.
+        assert a["workload"] == b["workload"]
+        assert a["metrics"].keys() == b["metrics"].keys()
+    sim_metrics = json.loads(first["sim"].read_text())["metrics"]
+    assert "engine_events_per_sec" in sim_metrics
+    assert "scenario_jobs_per_sec" in sim_metrics
+    grid_metrics = json.loads(first["grid"].read_text())["metrics"]
+    assert "grid_serial_wall_s" in grid_metrics
+    assert "grid_parallel_wall_s" in grid_metrics
+
+
+def test_run_suite_only_sim(tmp_path):
+    written = run_suite(TINY, output_dir=tmp_path, only="sim", echo=lambda _: None)
+    assert set(written) == {"sim"}
+    assert not (tmp_path / "BENCH_grid.json").exists()
+
+
+def test_bench_cli_quick_flag_parses(tmp_path):
+    from repro.bench.__main__ import main
+
+    # Exercise only the cheap suite through the real CLI path.
+    assert main(["--quick", "--only", "grid", "--output-dir", str(tmp_path)]) == 0
+    payload = json.loads((tmp_path / "BENCH_grid.json").read_text())
+    assert payload["suite"] == "grid"
+
+
+# -- repro.perf.compare --------------------------------------------------------
+
+
+def _payload(metrics):
+    return {"schema": BENCH_SCHEMA, "suite": "sim", "tier": "quick",
+            "workload": {"seed": 0}, "metrics": metrics}
+
+
+def test_metric_direction_classification():
+    assert metric_direction("engine_events_per_sec") == "higher"
+    assert metric_direction("grid_speedup") == "higher"
+    assert metric_direction("grid_serial_wall_s") == "lower"
+    assert metric_direction("perf_disabled_overhead_pct") == "lower"
+    assert metric_direction("grid_unique_simulations") == "info"
+
+
+def test_compare_flags_injected_regression():
+    base = _payload({"engine_events_per_sec": 1000.0, "grid_serial_wall_s": 10.0})
+    # 15% throughput drop and 20% wall-clock growth: both beyond 10%.
+    cur = _payload({"engine_events_per_sec": 850.0, "grid_serial_wall_s": 12.0})
+    bad = regressions(compare_metrics(base, cur, threshold_pct=10.0))
+    assert {d.name for d in bad} == {"engine_events_per_sec", "grid_serial_wall_s"}
+
+
+def test_compare_tolerates_noise_within_threshold():
+    base = _payload({"engine_events_per_sec": 1000.0, "grid_unique_simulations": 22})
+    cur = _payload({"engine_events_per_sec": 950.0, "grid_unique_simulations": 44})
+    deltas = compare_metrics(base, cur, threshold_pct=10.0)
+    assert not regressions(deltas)  # -5% is noise; info metrics never fail
+
+
+def test_compare_cli_exit_codes(tmp_path):
+    good = tmp_path / "good.json"
+    bad = tmp_path / "bad.json"
+    good.write_text(json.dumps(_payload({"engine_events_per_sec": 1000.0})))
+    bad.write_text(json.dumps(_payload({"engine_events_per_sec": 800.0})))
+    assert compare_main([str(good), str(good)]) == 0
+    # > 10% injected regression must exit non-zero.
+    assert compare_main([str(good), str(bad)]) == 1
+    # a looser threshold lets it pass
+    assert compare_main([str(good), str(bad), "--threshold", "25"]) == 0
+    assert compare_main([str(good), str(tmp_path / "missing.json")]) == 2
+
+
+def test_compare_cli_rejects_mismatched_suites(tmp_path):
+    sim = tmp_path / "sim.json"
+    grid = tmp_path / "grid.json"
+    sim.write_text(json.dumps(_payload({"engine_events_per_sec": 1.0})))
+    grid_payload = _payload({"grid_speedup": 1.5})
+    grid_payload["suite"] = "grid"
+    grid.write_text(json.dumps(grid_payload))
+    assert compare_main([str(sim), str(grid)]) == 2
+
+
+def test_load_bench_rejects_non_bench_json(tmp_path):
+    path = tmp_path / "x.json"
+    path.write_text("{}")
+    with pytest.raises(ValueError):
+        load_bench(path)

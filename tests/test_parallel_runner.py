@@ -39,6 +39,46 @@ def test_parallel_matches_serial_exactly():
                 assert p.volatility == pytest.approx(s.volatility, abs=1e-12)
 
 
+def test_serial_and_single_worker_cache_statistics_match():
+    serial_cache = RunCache()
+    run_grid(POLICIES, "bid", SMALL, "A", SCENARIOS, serial_cache)
+    parallel_cache = RunCache()
+    run_grid_parallel(
+        POLICIES, "bid", SMALL, "A", SCENARIOS, n_workers=1, cache=parallel_cache
+    )
+    assert (parallel_cache.hits, parallel_cache.misses) == (
+        serial_cache.hits,
+        serial_cache.misses,
+    )
+    assert len(parallel_cache) == len(serial_cache)
+
+
+@pytest.mark.slow
+def test_parallel_cache_statistics_match_serial():
+    """The pool runner must report the same hit/miss accounting as the
+    serial runner — on a cold cache and on a fully warm one."""
+    serial_cache = RunCache()
+    run_grid(POLICIES, "bid", SMALL, "A", SCENARIOS, serial_cache)
+    parallel_cache = RunCache()
+    run_grid_parallel(
+        POLICIES, "bid", SMALL, "A", SCENARIOS, n_workers=2, cache=parallel_cache
+    )
+    assert (parallel_cache.hits, parallel_cache.misses) == (
+        serial_cache.hits,
+        serial_cache.misses,
+    )
+    assert len(parallel_cache) == len(serial_cache)
+    # Warm re-run: both paths see pure hits, zero new misses.
+    run_grid(POLICIES, "bid", SMALL, "A", SCENARIOS, serial_cache)
+    run_grid_parallel(
+        POLICIES, "bid", SMALL, "A", SCENARIOS, n_workers=2, cache=parallel_cache
+    )
+    assert (parallel_cache.hits, parallel_cache.misses) == (
+        serial_cache.hits,
+        serial_cache.misses,
+    )
+
+
 @pytest.mark.slow
 def test_parallel_populates_shared_cache():
     cache = RunCache()
