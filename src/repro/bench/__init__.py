@@ -13,8 +13,9 @@ real measurement):
 - **scenario** — one seeded policy simulation end to end
   (workload synthesis → service → objectives), reported as jobs/sec and
   events/sec.
-- **grid** — a reduced Table VI grid run serially and through the
-  process-pool runner, reported as wall-clock seconds and speedup.
+- **grid** — a reduced Table VI grid run serially, through the
+  process-pool runner, and twice against a persistent run store (cold
+  then warm), reported as wall-clock seconds and speedups.
 
 Results are written as ``BENCH_sim.json`` and ``BENCH_grid.json`` at the
 output directory (repo root by convention).  All workloads are seeded and
@@ -29,6 +30,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -225,8 +227,16 @@ def bench_scenario(tier: BenchTier) -> dict:
 
 
 def bench_grid(tier: BenchTier) -> dict:
-    """Reduced Table VI grid: serial vs process-pool wall clock."""
+    """Reduced Table VI grid: serial vs process-pool vs warm run store.
+
+    The store tier runs the same grid twice against one cache directory —
+    a cold pass that simulates and checkpoints everything, then a warm
+    pass from a fresh process-level store that only replays the disk
+    cache.  The warm/cold ratio is the resume speedup a rerun of an
+    interrupted (or repeated) grid enjoys.
+    """
     from repro.experiments.parallel import run_grid_parallel
+    from repro.experiments.runstore import RunStore
 
     scenarios = [scenario_by_name(name) for name in tier.grid_scenarios]
     config = ExperimentConfig(
@@ -244,12 +254,29 @@ def bench_grid(tier: BenchTier) -> dict:
         n_workers=tier.grid_workers, cache=parallel_cache,
     )
     parallel_wall = max(time.perf_counter() - t0, 1e-12)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        cold_store = RunStore(tmp)
+        t0 = time.perf_counter()
+        run_grid(tier.grid_policies, tier.grid_model, config, "A", scenarios,
+                 cold_store)
+        store_cold_wall = max(time.perf_counter() - t0, 1e-12)
+        warm_store = RunStore(tmp)  # fresh memory layer, warm disk layer
+        t0 = time.perf_counter()
+        run_grid(tier.grid_policies, tier.grid_model, config, "A", scenarios,
+                 warm_store)
+        store_warm_wall = max(time.perf_counter() - t0, 1e-12)
     return {
         "grid_serial_wall_s": serial_wall,
         "grid_parallel_wall_s": parallel_wall,
         "grid_speedup": serial_wall / parallel_wall,
         "grid_sims_per_sec": serial_cache.misses / serial_wall,
         "grid_unique_simulations": serial_cache.misses,
+        "grid_store_cold_wall_s": store_cold_wall,
+        "grid_store_warm_wall_s": store_warm_wall,
+        "grid_warm_speedup": store_cold_wall / store_warm_wall,
+        "grid_warm_store_hits": warm_store.hits,
+        "grid_warm_store_misses": warm_store.misses,
     }
 
 

@@ -5,6 +5,7 @@ Commands
 ``figure``      regenerate one of the paper's figures (1–8)
 ``table``       regenerate one of the paper's tables (1–6)
 ``run``         simulate one policy on one configuration
+``grid``        run a Table VI grid through the resumable run store
 ``trace``       show statistics of an SWF trace file (or the synthetic one)
 ``recommend``   a priori policy recommendation for a model/set
 ``list``        list policies, scenarios, objectives
@@ -26,7 +27,8 @@ from repro.experiments import figures as figures_mod
 from repro.experiments import tables as tables_mod
 from repro.experiments.report import format_table, summarize_figure, summarize_plot
 from repro.experiments.runner import RunCache, build_workload, run_grid
-from repro.experiments.scenarios import SCENARIOS, ExperimentConfig
+from repro.experiments.runstore import RunStore
+from repro.experiments.scenarios import SCENARIOS, ExperimentConfig, scenario_by_name
 from repro.perf import capture as perf_capture
 from repro.policies import BID_POLICIES, COMMODITY_POLICIES, POLICIES, make_policy
 from repro.service.provider import CommercialComputingService
@@ -95,6 +97,22 @@ def cmd_run(args) -> int:
         print(f"error: unknown policy {args.policy!r} (see `list`)", file=sys.stderr)
         return 2
     config = _config_from_args(args)
+    store = RunStore(args.cache_dir) if args.cache_dir else None
+    if store is not None:
+        cached = store.get(config, args.policy, args.model)
+        if cached is not None:
+            store.hits += 1
+            print(format_table([
+                {"metric": "wait (s)", "value": cached.wait},
+                {"metric": "SLA (%)", "value": cached.sla},
+                {"metric": "reliability (%)", "value": cached.reliability},
+                {"metric": "profitability (%)", "value": cached.profitability},
+            ], title=f"{args.policy} on {args.model} model (Set {args.set}, "
+                     f"{config.n_jobs} jobs) — from run store"))
+            print(f"run store hit ({store.cache_dir}); rerun without "
+                  "--cache-dir to re-simulate per-job outcomes")
+            return 0
+        store.misses += 1
     jobs = build_workload(config)
     service = CommercialComputingService(
         make_policy(args.policy), make_model(args.model), total_procs=config.total_procs
@@ -120,6 +138,86 @@ def cmd_run(args) -> int:
         f"throughput: {len(jobs) / elapsed:,.0f} jobs/s, "
         f"{events / elapsed:,.0f} events/s ({elapsed:.3f}s wall)"
     )
+    if store is not None:
+        store.put(config, args.policy, args.model, objs)
+        print(f"run checkpointed to {store.cache_dir}")
+    return 0
+
+
+def _parse_shard(text: Optional[str]) -> Optional[tuple]:
+    """``"i/n"`` (1-based) → 0-based ``(i-1, n)``; None passes through."""
+    if text is None:
+        return None
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(f"shard must look like i/n (e.g. 2/4), got {text!r}")
+    if not 1 <= index <= count:
+        raise ValueError(f"shard index must be in 1..{count}, got {index}")
+    return index - 1, count
+
+
+def cmd_grid(args) -> int:
+    from repro.core.ranking import rank_policies
+    from repro.experiments.pipeline import assemble_grid, execute_plan, grid_plan
+    from repro.experiments.store import save_grid
+
+    policies = args.policies or (
+        COMMODITY_POLICIES if args.model == "commodity" else BID_POLICIES
+    )
+    unknown = [p for p in policies if p not in POLICIES]
+    if unknown:
+        print(f"error: unknown policies {unknown} (see `list`)", file=sys.stderr)
+        return 2
+    try:
+        shard = _parse_shard(args.shard)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.resume and not args.cache_dir:
+        print("error: --resume requires --cache-dir", file=sys.stderr)
+        return 2
+    scenarios = (
+        [scenario_by_name(name) for name in args.scenario]
+        if args.scenario else SCENARIOS
+    )
+    store = RunStore(args.cache_dir) if args.cache_dir else RunCache()
+    base = _config_from_args(args)
+    plan = grid_plan(policies, args.model, base, args.set, scenarios)
+    with perf_capture() as perf:
+        execution = execute_plan(plan, store, n_workers=args.workers, shard=shard)
+        counters = dict(perf.counters)
+    rate = execution.executed / max(execution.wall_s, 1e-12)
+    print(
+        f"plan: {execution.accesses} accesses → {execution.hits} store hits, "
+        f"{execution.misses} unique misses; simulated {execution.executed} "
+        f"({execution.deferred} deferred to other shards) in "
+        f"{execution.wall_s:.2f}s ({rate:,.2f} sims/s)"
+    )
+    if args.cache_dir:
+        print(
+            f"run store: {store.cache_dir} — "
+            f"{int(counters.get('runstore.hits', 0))} hits / "
+            f"{int(counters.get('runstore.misses', 0))} misses, "
+            f"{store.stats()['disk_runs']} runs on disk"
+        )
+    if not execution.complete:
+        print(
+            "partial shard complete; run the remaining shards against the "
+            "same --cache-dir, then rerun without --shard to assemble"
+        )
+        return 0
+    grid = assemble_grid(store, policies, args.model, base, args.set, scenarios)
+    ranking = " > ".join(
+        r.policy for r in rank_policies(grid.integrated_plot(OBJECTIVES),
+                                        by="performance")
+    )
+    print(f"grid complete ({args.model}, Set {args.set}, "
+          f"{len(list(scenarios))} scenarios): {ranking}")
+    if args.output:
+        path = save_grid(grid, args.output)
+        print(f"grid analysis written to {path}")
     return 0
 
 
@@ -213,7 +311,9 @@ def cmd_report(args) -> int:
     from repro.experiments.full_report import generate_report
 
     base = ExperimentConfig(n_jobs=args.jobs, total_procs=args.procs, seed=args.seed)
-    index = generate_report(args.output, base=base, n_workers=args.workers)
+    index = generate_report(
+        args.output, base=base, n_workers=args.workers, cache_dir=args.cache_dir
+    )
     print(f"report written to {index['output_dir']} "
           f"({index['simulations']} simulations, {len(index['paths'])} artefacts)")
     for key, rec in index["recommendations"].items():
@@ -262,8 +362,37 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="simulate one policy")
     p.add_argument("policy")
     p.add_argument("--model", choices=("commodity", "bid"), default="bid")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent run store: reuse a cached result and "
+                        "checkpoint new ones")
     _add_scale_options(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "grid",
+        help="run a Table VI grid through the resumable, shardable run store",
+    )
+    p.add_argument("--model", choices=("commodity", "bid"), default="bid")
+    p.add_argument("--policies", nargs="+", default=None,
+                   help="policy subset (default: all policies of the model)")
+    p.add_argument("--scenario", nargs="+", default=None,
+                   metavar="NAME", help="scenario subset by name (default: all 12)")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed run store directory (enables "
+                        "resume and cross-process sharing)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted grid from --cache-dir "
+                        "(reuse is automatic; this flag asserts the intent "
+                        "and fails fast without a cache dir)")
+    p.add_argument("--shard", default=None, metavar="i/n",
+                   help="simulate only the i-th of n shards of the missing "
+                        "runs (1-based); machines sharing a cache dir "
+                        "split the grid")
+    p.add_argument("--workers", type=int, default=1, help="process pool size")
+    p.add_argument("--output", default=None,
+                   help="write the assembled grid analysis JSON here")
+    _add_scale_options(p)
+    p.set_defaults(fn=cmd_grid)
 
     p = sub.add_parser("trace", help="workload statistics (SWF or synthetic)")
     p.add_argument("--file", help="SWF trace file")
@@ -299,6 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs", type=int, default=128)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1, help="process pool size")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent run store: a killed report resumes from "
+                        "its last checkpointed simulation")
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("list", help="list policies, scenarios, objectives")

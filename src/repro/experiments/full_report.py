@@ -36,6 +36,7 @@ from repro.experiments.report import (
     summarize_plot,
 )
 from repro.experiments.runner import GridAnalysis, RunCache
+from repro.experiments.runstore import RunStore
 from repro.experiments.scenarios import SCENARIOS, ExperimentConfig
 from repro.experiments.store import save_grid
 from repro.perf import PERF
@@ -63,16 +64,24 @@ def generate_report(
     n_workers: int = 1,
     scenarios=SCENARIOS,
     volatility_tolerance: float = 0.2,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> dict:
     """Run everything and write the report directory.
+
+    With ``cache_dir``, every simulation is checkpointed to a persistent
+    run store the moment it completes — a killed report run resumes from
+    its last finished simulation instead of starting over, and subsequent
+    reports at the same scale are served from the store.
 
     Returns an index dict: paths written, grid summaries, and the a priori
     recommendation per (model, set).
     """
     base = base if base is not None else ExperimentConfig()
     out = Path(output_dir)
-    cache = RunCache()
+    cache = RunStore(cache_dir) if cache_dir is not None else RunCache()
     index: dict = {"output_dir": str(out), "paths": [], "recommendations": {}}
+    if cache_dir is not None:
+        index["cache_dir"] = str(cache_dir)
 
     def record(path: Path) -> None:
         index["paths"].append(str(path.relative_to(out)))
@@ -143,6 +152,12 @@ def generate_report(
         f"- configuration: {base.n_jobs} jobs × {base.total_procs} nodes, seed {base.seed}",
         f"- scenarios: {len(list(scenarios))} × 6 values; "
         f"simulations: {cache.misses} unique runs ({cache.hits} cache hits)",
+        *(
+            [f"- run store: `{cache_dir}` ({cache.stats()['disk_runs']} runs on disk; "
+             "rerun with the same --cache-dir to resume or reuse)"]
+            if cache_dir is not None
+            else []
+        ),
         _throughput_line(perf_snapshot),
         "",
         "## Four-objective rankings (integrated risk analysis)",
@@ -177,8 +192,9 @@ def _throughput_line(snapshot: dict) -> str:
     jobs = counters.get("runner.jobs_simulated", 0)
     events = counters.get("sim.events_executed", 0)
     if jobs == 0 and counters.get("runner.parallel_dispatches", 0):
-        # Simulations ran in worker processes; only dispatch counts are
-        # visible in the parent registry.
+        # Worker-side counters could not be merged back (e.g. a spawn-based
+        # pool where the registry is disabled in workers); fall back to the
+        # parent's dispatch bookkeeping.
         dispatched = counters["runner.parallel_dispatches"]
         return (
             f"- throughput: {dispatched / elapsed:,.2f} simulations/s "

@@ -2,44 +2,34 @@
 
 A full Table VI grid is 12 scenarios × 6 values × |policies| simulations
 per (model, set) — embarrassingly parallel across configurations.  This
-module fans the unique (config, policy) pairs out over a process pool and
-reassembles the same :class:`GridAnalysis` the serial runner produces.
+module is the process-pool face of the unified pipeline
+(:mod:`repro.experiments.pipeline`): the grid's unique work items are
+deduped against the run store, fanned over a pool, checkpointed to the
+store as each completes, and reassembled into the same
+:class:`GridAnalysis` the serial runner produces.
 
 Processes (not threads) are required: the simulations are pure CPU-bound
-Python.  Work items are deduplicated before dispatch (the default
-configuration occurs in every scenario), and results are deterministic —
-identical to the serial path — because every simulation is seeded by its
-configuration alone.
+Python.  Results are deterministic — identical to the serial path —
+because every simulation is seeded by its configuration alone.
 
 Use :func:`run_grid_parallel` as a drop-in for
 :func:`repro.experiments.runner.run_grid`; it falls back to the serial
-runner when ``n_workers <= 1``.
+runner when ``n_workers <= 1``.  Pass a disk-backed
+:class:`~repro.experiments.runstore.RunStore` as ``cache`` to make the
+grid resumable across processes and machines.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from typing import Optional, Sequence
 
-from repro.core.normalize import normalize_runs
-from repro.core.objectives import Objective, ObjectiveSet
-from repro.core.separate import separate_risk
-from repro.experiments.runner import (
-    GridAnalysis,
-    RunCache,
-    run_grid,
-    run_single,
-)
+from repro.experiments.pipeline import assemble_grid, execute_plan, grid_plan
+from repro.experiments.runner import GridAnalysis, RunCache, run_grid
+from repro.experiments.runstore import RunStore
 from repro.experiments.scenarios import SCENARIOS, ExperimentConfig, Scenario
 from repro.perf.registry import PERF
-
-
-def _worker(item: tuple) -> tuple:
-    """Run one (config, policy, model) simulation in a worker process."""
-    config, policy, model = item
-    return item, run_single(config, policy, model)
 
 
 def default_workers() -> int:
@@ -54,81 +44,30 @@ def run_grid_parallel(
     set_name: str = "A",
     scenarios: Sequence[Scenario] = SCENARIOS,
     n_workers: Optional[int] = None,
-    cache: Optional[RunCache] = None,
+    cache: Optional[RunStore] = None,
 ) -> GridAnalysis:
     """The Table VI grid with simulations spread over a process pool.
 
-    Parameters mirror :func:`repro.experiments.runner.run_grid`; results are
-    bit-identical to the serial runner.  An existing ``cache`` is consulted
-    before dispatch and updated with the new results, so repeated calls
-    (e.g. Set A then Set B) only simulate what changed.
+    Parameters mirror :func:`repro.experiments.runner.run_grid`; results
+    are bit-identical to the serial runner.  An existing ``cache`` (memory
+    or disk) is consulted before dispatch and updated with the new
+    results, so repeated calls (e.g. Set A then Set B, or a rerun after an
+    interrupt) only simulate what is missing.  Hit/miss accounting is
+    per logical access, exactly as the serial runner reports it.
     """
     n_workers = default_workers() if n_workers is None else int(n_workers)
     if n_workers <= 1:
         return run_grid(policies, model_name, base, set_name, scenarios, cache)
 
-    base = base.for_set(set_name)
     cache = cache if cache is not None else RunCache()
     t0 = time.perf_counter()
-
-    # 1. Collect the unique work items of the whole grid, counting cache
-    # hits/misses exactly as the serial runner would: every logical
-    # (config, policy) access is one lookup — the first access of a key not
-    # already cached is a miss, every other access is a hit.  Step 3 below
-    # reads the cache without touching the counters, so serial and parallel
-    # grids report identical statistics.
-    items: list[tuple] = []
-    seen: set = set()
-    for scenario in scenarios:
-        for config in scenario.configs(base):
-            for policy in policies:
-                key = (config.key(), policy, model_name)
-                if key in seen or cache.get(config, policy, model_name) is not None:
-                    cache.hits += 1
-                    continue
-                seen.add(key)
-                cache.misses += 1
-                items.append((config, policy, model_name))
-
-    # 2. Fan out.
-    if items:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            for (config, policy, model), objectives in pool.map(
-                _worker, items, chunksize=1
-            ):
-                cache.put(config, policy, model, objectives)
-
-    # 3. Reduce exactly as the serial runner does (all runs now cached;
-    # the lookups were already accounted for in step 1).
-    def _cached_run(cfg: ExperimentConfig, policy: str) -> ObjectiveSet:
-        value = cache.get(cfg, policy, model_name)
-        if value is None:  # pragma: no cover - defensive (a worker died)
-            value = run_single(cfg, policy, model_name)
-            cache.put(cfg, policy, model_name, value)
-        return value
-
-    separate: dict[Objective, dict[str, dict[str, object]]] = {
-        objective: {policy: {} for policy in policies} for objective in Objective
-    }
-    for scenario in scenarios:
-        configs = scenario.configs(base)
-        runs: list[list[ObjectiveSet]] = [
-            [_cached_run(cfg, policy) for cfg in configs]
-            for policy in policies
-        ]
-        normalized = normalize_runs(runs)
-        for objective in Objective:
-            grid = normalized[objective]
-            for p, policy in enumerate(policies):
-                separate[objective][policy][scenario.name] = separate_risk(grid[p])
+    execute_plan(
+        grid_plan(policies, model_name, base, set_name, scenarios),
+        cache,
+        n_workers=n_workers,
+    )
+    grid = assemble_grid(cache, policies, model_name, base, set_name, scenarios)
     if PERF.enabled:
         PERF.add_time("runner.grid_parallel_s", time.perf_counter() - t0)
         PERF.incr("runner.grids")
-        PERF.incr("runner.parallel_dispatches", len(items))
-    return GridAnalysis(
-        model=model_name,
-        set_name=set_name,
-        policies=tuple(policies),
-        scenarios=tuple(s.name for s in scenarios),
-        separate=separate,
-    )
+    return grid

@@ -1,0 +1,248 @@
+"""The unified experiment pipeline: plan → execute → assemble.
+
+Every grid-shaped entry point (``run_grid``, ``run_grid_parallel``,
+``run_replicated``, ``tornado_analysis``, ``generate_report``) drives the
+same three stages:
+
+1. :func:`grid_plan` (or any list of work items) enumerates the *logical
+   accesses* of an experiment in a deterministic order — duplicates
+   included, because hit/miss accounting is defined per access.
+2. :func:`execute_plan` dedupes the plan grid-wide against a
+   :class:`~repro.experiments.runstore.RunStore`, optionally keeps only
+   one shard of the misses (``shard=(i, n)`` for multi-machine fan-out),
+   simulates the remainder serially or over a process pool, and
+   checkpoints every completed run to the store *immediately* — an
+   interrupted grid therefore resumes by construction.
+3. :func:`assemble_grid` re-reads the store and reduces to a
+   :class:`~repro.experiments.runner.GridAnalysis` exactly as the serial
+   runner always has (per-scenario normalisation, Eqs. 5–6), so serial,
+   parallel, sharded, and resumed executions of the same plan are
+   bit-identical.
+
+Simulations are pure functions of their :class:`RunKey`, which is what
+makes all of this sound: the store can replay any subset in any order.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.normalize import normalize_runs
+from repro.core.objectives import Objective, ObjectiveSet
+from repro.core.separate import separate_risk
+from repro.experiments.runstore import RunKey, RunStore, StoreError
+from repro.experiments.scenarios import SCENARIOS, ExperimentConfig, Scenario
+from repro.perf.registry import PERF
+
+#: One unit of work: simulate ``policy`` on ``config`` under ``model``.
+WorkItem = tuple[ExperimentConfig, str, str]
+
+
+def grid_plan(
+    policies: Sequence[str],
+    model_name: str,
+    base: ExperimentConfig,
+    set_name: str = "A",
+    scenarios: Sequence[Scenario] = SCENARIOS,
+) -> list[WorkItem]:
+    """The logical accesses of one Table VI grid, in deterministic order.
+
+    The default configuration appears in every scenario, so the plan
+    contains far more accesses than unique keys — :func:`execute_plan`
+    dedupes and accounts for exactly that.
+    """
+    base = base.for_set(set_name)
+    return [
+        (config, policy, model_name)
+        for scenario in scenarios
+        for config in scenario.configs(base)
+        for policy in policies
+    ]
+
+
+@dataclass(frozen=True)
+class PlanExecution:
+    """What one :func:`execute_plan` call did."""
+
+    accesses: int  #: logical accesses in the plan (duplicates included)
+    hits: int  #: accesses served by the store (memory or disk)
+    misses: int  #: unique keys that needed simulation
+    executed: int  #: runs simulated by this call (== misses unless sharded)
+    deferred: int  #: misses left to other shards
+    wall_s: float
+
+    @property
+    def complete(self) -> bool:
+        """True when every miss was simulated (nothing left to a peer shard)."""
+        return self.deferred == 0
+
+
+def _parse_shard(shard: Optional[tuple[int, int]]) -> Optional[tuple[int, int]]:
+    if shard is None:
+        return None
+    index, count = shard
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(f"shard must satisfy 0 <= i < n, got {index}/{count}")
+    return index, count
+
+
+def _worker(item: WorkItem) -> tuple[WorkItem, ObjectiveSet, Optional[dict]]:
+    """Simulate one work item in a worker process.
+
+    Returns the per-item delta of the worker's perf counters (when the
+    registry is enabled there) so the parent can fold worker-side activity
+    — simulated jobs, engine events — back into its own registry.
+    """
+    from repro.experiments.runner import run_single
+
+    before = dict(PERF.counters) if PERF.enabled else None
+    objectives = run_single(item[0], item[1], item[2])
+    delta = None
+    if before is not None:
+        delta = {
+            name: value - before.get(name, 0)
+            for name, value in PERF.counters.items()
+            if value != before.get(name, 0)
+        }
+    return item, objectives, delta
+
+
+def execute_plan(
+    plan: Sequence[WorkItem],
+    store: RunStore,
+    n_workers: int = 1,
+    shard: Optional[tuple[int, int]] = None,
+) -> PlanExecution:
+    """Dedupe, (optionally) shard, simulate, and checkpoint a plan.
+
+    Accounting matches the serial runner's per-access semantics: every
+    plan entry is one logical access; the first access of a key the store
+    cannot serve is a miss, every other access is a hit.  Misses are
+    simulated in first-access order (serially) or fanned over a process
+    pool, and each finished run is written to the store the moment it
+    completes, so an interrupted call loses at most the in-flight runs.
+
+    ``shard=(i, n)`` keeps only the misses whose key digest falls in the
+    ``i``-th of ``n`` buckets, for splitting one grid across machines that
+    share a cache directory.  Assignment is a pure function of the
+    content hash, so it is stable no matter how much of the grid other
+    shards have already checkpointed; the returned :class:`PlanExecution`
+    reports the deferred remainder.
+    """
+    from repro.experiments.runner import run_single
+
+    shard = _parse_shard(shard)
+    t0 = time.perf_counter()
+
+    pending: list[tuple[WorkItem, str]] = []
+    seen: set[str] = set()
+    hits = 0
+    for item in plan:
+        config, policy, model = item
+        digest = RunKey(config, policy, model).digest
+        if digest in seen or store.get(config, policy, model) is not None:
+            hits += 1
+        else:
+            seen.add(digest)
+            pending.append((item, digest))
+    misses = len(pending)
+    store.hits += hits
+    store.misses += misses
+    if PERF.enabled:
+        PERF.incr("runner.cache_hits", hits)
+        PERF.incr("runner.cache_misses", misses)
+
+    if shard is not None:
+        index, count = shard
+        mine = [
+            item for item, digest in pending
+            if int(digest[:8], 16) % count == index
+        ]
+    else:
+        mine = [item for item, _ in pending]
+    deferred = misses - len(mine)
+
+    if mine and n_workers > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {pool.submit(_worker, item) for item in mine}
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    (config, policy, model), objectives, perf_delta = future.result()
+                    store.put(config, policy, model, objectives)
+                    if perf_delta and PERF.enabled:
+                        PERF.merge_counters(perf_delta)
+        if PERF.enabled:
+            PERF.incr("runner.parallel_dispatches", len(mine))
+    else:
+        for config, policy, model in mine:
+            store.put(config, policy, model, run_single(config, policy, model))
+
+    wall = time.perf_counter() - t0
+    if PERF.enabled:
+        PERF.add_time("pipeline.execute_s", wall)
+        PERF.incr("pipeline.plans_executed")
+    return PlanExecution(
+        accesses=len(plan),
+        hits=hits,
+        misses=misses,
+        executed=len(mine),
+        deferred=deferred,
+        wall_s=wall,
+    )
+
+
+def assemble_grid(
+    store: RunStore,
+    policies: Sequence[str],
+    model_name: str,
+    base: ExperimentConfig,
+    set_name: str = "A",
+    scenarios: Sequence[Scenario] = SCENARIOS,
+    wait_method: str = "grid-max",
+):
+    """Reduce a fully populated store to a :class:`GridAnalysis`.
+
+    Purely a read: normalises each scenario's raw objective grid (§4.1)
+    and applies Eqs. 5–6, exactly as the serial runner always has — which
+    is why any execution strategy that fills the store yields the same
+    bytes.  Raises :class:`StoreError` naming the gap when runs are
+    missing (e.g. not every shard has completed yet).
+    """
+    from repro.experiments.runner import GridAnalysis
+
+    base = base.for_set(set_name)
+    missing = 0
+    separate: dict[Objective, dict[str, dict[str, object]]] = {
+        objective: {policy: {} for policy in policies} for objective in Objective
+    }
+    for scenario in scenarios:
+        configs = scenario.configs(base)
+        runs: list[list[Optional[ObjectiveSet]]] = [
+            [store.get(config, policy, model_name) for config in configs]
+            for policy in policies
+        ]
+        missing += sum(run is None for policy_runs in runs for run in policy_runs)
+        if missing:
+            continue
+        normalized = normalize_runs(runs, wait_method=wait_method)
+        for objective in Objective:
+            grid = normalized[objective]
+            for p, policy in enumerate(policies):
+                separate[objective][policy][scenario.name] = separate_risk(grid[p])
+    if missing:
+        raise StoreError(
+            f"grid incomplete: {missing} run(s) absent from the store — "
+            "rerun against the same cache dir (or finish the other shards) "
+            "before assembling"
+        )
+    return GridAnalysis(
+        model=model_name,
+        set_name=set_name,
+        policies=tuple(policies),
+        scenarios=tuple(s.name for s in scenarios),
+        separate=separate,
+    )

@@ -16,7 +16,9 @@ from typing import Optional, Sequence
 from scipy import stats as scipy_stats
 
 from repro.core.objectives import Objective
-from repro.experiments.runner import GridAnalysis, RunCache, run_grid
+from repro.experiments.pipeline import assemble_grid, execute_plan, grid_plan
+from repro.experiments.runner import GridAnalysis, RunCache
+from repro.experiments.runstore import RunStore
 from repro.experiments.scenarios import SCENARIOS, ExperimentConfig, Scenario
 
 
@@ -134,15 +136,26 @@ def run_replicated(
     set_name: str = "A",
     scenarios: Sequence[Scenario] = SCENARIOS,
     seeds: Sequence[int] = (0, 1, 2),
-    cache: Optional[RunCache] = None,
+    cache: Optional[RunStore] = None,
+    n_workers: int = 1,
 ) -> ReplicatedAnalysis:
-    """Run the same grid under several workload seeds."""
+    """Run the same grid under several workload seeds.
+
+    All replicates are planned as one work list and executed through the
+    unified pipeline, so the process pool (``n_workers > 1``) spans seeds
+    rather than draining one replicate at a time, and a disk-backed
+    ``cache`` resumes an interrupted replication study mid-seed.
+    """
     cache = cache if cache is not None else RunCache()
+    bases = [base.with_values(seed=seed) for seed in seeds]
+    plan = [
+        item
+        for seeded in bases
+        for item in grid_plan(policies, model_name, seeded, set_name, scenarios)
+    ]
+    execute_plan(plan, cache, n_workers=n_workers)
     grids = [
-        run_grid(
-            policies, model_name, base.with_values(seed=seed), set_name,
-            scenarios, cache,
-        )
-        for seed in seeds
+        assemble_grid(cache, policies, model_name, seeded, set_name, scenarios)
+        for seeded in bases
     ]
     return ReplicatedAnalysis(grids=grids)

@@ -5,15 +5,18 @@ policy evaluated at a given configuration sees the *identical* job list
 (same trace draw, same QoS draw, same estimate interpolation), and the wait
 objective is normalised across exactly the policies being compared.
 
-Runs are cached per ``(config, policy, model)`` within a
-:class:`RunCache`; the default configuration appears in all twelve
-scenarios, so a full grid reuses it eleven times per policy.
+Runs are cached per ``(config, policy, model)`` in a
+:class:`~repro.experiments.runstore.RunStore` (:class:`RunCache` is its
+memory-only form); the default configuration appears in all twelve
+scenarios, so a full grid reuses it eleven times per policy.  Grid-shaped
+work flows through :mod:`repro.experiments.pipeline`, which dedupes,
+shards, checkpoints, and resumes against the store.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from repro.core.integrated import IntegratedRisk, integrated_risk
@@ -22,6 +25,7 @@ from repro.core.objectives import Objective, ObjectiveSet
 from repro.core.riskplot import RiskPlot
 from repro.core.separate import SeparateRisk, separate_risk
 from repro.economy.models import make_model
+from repro.experiments.runstore import RunStore
 from repro.experiments.scenarios import SCENARIOS, ExperimentConfig, Scenario
 from repro.perf.registry import PERF
 from repro.policies import make_policy
@@ -33,6 +37,30 @@ from repro.workload.qos import assign_qos
 from repro.workload.synthetic import SDSC_SP2, generate_trace
 
 
+#: Memoised base traces keyed by ``(seed, n_jobs, max_procs)``.  The base
+#: trace is shared by every value of every scenario at a given scale, so a
+#: grid synthesises it once instead of 72+ times.  Entries are immutable
+#: tuples: :func:`build_workload` clones before layering anything on.
+_TRACE_MEMO: dict[tuple[int, int, int], tuple[Job, ...]] = {}
+_TRACE_MEMO_MAX = 8
+
+
+def _base_trace(seed: int, n_jobs: int, max_procs: int) -> tuple[Job, ...]:
+    key = (seed, n_jobs, max_procs)
+    cached = _TRACE_MEMO.get(key)
+    if cached is not None:
+        if PERF.enabled:
+            PERF.incr("runner.trace_memo_hits")
+        return cached
+    streams = RngStreams(seed=seed)
+    model = replace(SDSC_SP2, n_jobs=n_jobs, max_procs=max_procs)
+    jobs = tuple(generate_trace(model, rng=streams.get("trace")))
+    if len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+        _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+    _TRACE_MEMO[key] = jobs
+    return jobs
+
+
 def build_workload(config: ExperimentConfig) -> list[Job]:
     """Materialise the job list a configuration describes.
 
@@ -40,47 +68,43 @@ def build_workload(config: ExperimentConfig) -> list[Job]:
     factor rescales inter-arrival gaps (paper §5.3: a factor of 0.1 turns a
     600 s gap into 60 s, i.e. lower factor = heavier load); QoS parameters
     and estimate inaccuracy are then layered on deterministically.
+
+    The returned jobs are freshly owned: the shared base trace is cloned
+    before submit times are scaled or :func:`apply_inaccuracy` mutates
+    estimates, so job lists can never be corrupted across runs through the
+    memo (or any future sharing via the run store).
     """
-    streams = RngStreams(seed=config.seed)
-    model = replace(
-        SDSC_SP2,
-        n_jobs=config.n_jobs,
-        max_procs=min(SDSC_SP2.max_procs, config.total_procs),
+    if config.arrival_delay_factor <= 0:
+        raise ValueError("arrival delay factor must be positive")
+    base = _base_trace(
+        config.seed, config.n_jobs, min(SDSC_SP2.max_procs, config.total_procs)
     )
-    jobs = generate_trace(model, rng=streams.get("trace"))
+    jobs = [job.clone() for job in base]
     if config.arrival_delay_factor != 1.0:
-        if config.arrival_delay_factor <= 0:
-            raise ValueError("arrival delay factor must be positive")
         for job in jobs:
             job.submit_time *= config.arrival_delay_factor
-    assign_qos(jobs, config.qos_spec(), rng=streams.get("qos"))
+    assign_qos(jobs, config.qos_spec(), rng=RngStreams(seed=config.seed).get("qos"))
     apply_inaccuracy(jobs, config.inaccuracy_pct)
     return jobs
 
 
-@dataclass
-class RunCache:
-    """Memo of finished simulation runs keyed by (config, policy, model)."""
+class RunCache(RunStore):
+    """Memory-only store of finished runs (the run store's L1, standalone).
 
-    _runs: dict = field(default_factory=dict)
-    hits: int = 0
-    misses: int = 0
+    Kept under its historical name: everything that accepted a ``RunCache``
+    now equally accepts a disk-backed
+    :class:`~repro.experiments.runstore.RunStore`.
+    """
 
-    def get(self, config: ExperimentConfig, policy: str, model: str):
-        return self._runs.get((config.key(), policy, model))
-
-    def put(self, config: ExperimentConfig, policy: str, model: str, value) -> None:
-        self._runs[(config.key(), policy, model)] = value
-
-    def __len__(self) -> int:
-        return len(self._runs)
+    def __init__(self) -> None:
+        super().__init__(cache_dir=None)
 
 
 def run_single(
     config: ExperimentConfig,
     policy_name: str,
     model_name: str,
-    cache: Optional[RunCache] = None,
+    cache: Optional[RunStore] = None,
 ) -> ObjectiveSet:
     """Run one policy on one configuration and measure the four objectives."""
     if cache is not None:
@@ -113,7 +137,7 @@ def run_scenario(
     policies: Sequence[str],
     model_name: str,
     base: ExperimentConfig,
-    cache: Optional[RunCache] = None,
+    cache: Optional[RunStore] = None,
     wait_method: str = "grid-max",
 ) -> dict[Objective, dict[str, SeparateRisk]]:
     """Separate risk analysis of every objective for one scenario.
@@ -192,28 +216,27 @@ def run_grid(
     base: ExperimentConfig,
     set_name: str = "A",
     scenarios: Sequence[Scenario] = SCENARIOS,
-    cache: Optional[RunCache] = None,
+    cache: Optional[RunStore] = None,
     wait_method: str = "grid-max",
 ) -> GridAnalysis:
-    """Run the full Table VI grid for one economic model and estimate set."""
-    base = base.for_set(set_name)
+    """Run the full Table VI grid for one economic model and estimate set.
+
+    Serial form of the unified pipeline: plan → execute (in-process,
+    checkpointing each run to ``cache`` as it completes) → assemble.  With
+    a disk-backed :class:`~repro.experiments.runstore.RunStore` as the
+    cache, an interrupted grid resumes from where it stopped.
+    """
+    from repro.experiments.pipeline import assemble_grid, execute_plan, grid_plan
+
     cache = cache if cache is not None else RunCache()
-    separate: dict[Objective, dict[str, dict[str, SeparateRisk]]] = {
-        objective: {policy: {} for policy in policies} for objective in Objective
-    }
     t0 = time.perf_counter()
-    for scenario in scenarios:
-        result = run_scenario(scenario, policies, model_name, base, cache, wait_method)
-        for objective in Objective:
-            for policy in policies:
-                separate[objective][policy][scenario.name] = result[objective][policy]
+    execute_plan(
+        grid_plan(policies, model_name, base, set_name, scenarios), cache, n_workers=1
+    )
+    grid = assemble_grid(
+        cache, policies, model_name, base, set_name, scenarios, wait_method
+    )
     if PERF.enabled:
         PERF.add_time("runner.grid_serial_s", time.perf_counter() - t0)
         PERF.incr("runner.grids")
-    return GridAnalysis(
-        model=model_name,
-        set_name=set_name,
-        policies=tuple(policies),
-        scenarios=tuple(s.name for s in scenarios),
-        separate=separate,
-    )
+    return grid

@@ -1,0 +1,320 @@
+"""Content-addressed persistence of individual simulation runs.
+
+Every simulation in the evaluation is a pure function of its
+``(ExperimentConfig, policy, economic model)`` triple — the workload is
+synthesised from the config's seed and the engine is deterministic.  That
+makes each run *content addressable*: :class:`RunKey` hashes the triple
+(plus :data:`SCHEMA_VERSION`, so incompatible code revisions never collide)
+into a stable digest, and :class:`RunStore` keeps finished
+:class:`~repro.core.objectives.ObjectiveSet` s under that digest.
+
+The store is two-layered:
+
+- **L1** — a per-process dict (what the historical ``RunCache`` was);
+- **L2** — an optional on-disk cache directory of one JSON document per
+  run, written atomically (temp file + ``os.replace``) so a killed grid
+  never leaves a truncated document behind, and loaded tolerantly (a
+  corrupt or incompatible file is a miss, never a crash).
+
+Layout of a cache directory::
+
+    <cache_dir>/
+      index.jsonl                  append-only per-run metadata lines
+      runs/<digest[:2]>/<digest>.json
+
+Because keys are content hashes, *resume is free*: rerunning any grid
+against a populated cache dir only simulates the missing keys.  The perf
+registry sees every store interaction under the ``runstore.*`` counters
+(``runstore.hits``, ``runstore.misses``, ``runstore.disk_hits``,
+``runstore.bytes_written``, ``runstore.bytes_read``,
+``runstore.corrupt_skipped``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.core.objectives import OBJECTIVES, Objective, ObjectiveSet
+from repro.experiments.scenarios import ExperimentConfig
+from repro.perf.registry import PERF
+
+#: Version of the run-content schema hashed into every :class:`RunKey`.
+#: Bump when a code change alters what a cached result means (workload
+#: synthesis, objective measurement, policy semantics): old cache entries
+#: then simply stop matching instead of being silently wrong.
+SCHEMA_VERSION = 1
+
+#: Format marker / document version of one on-disk run document.
+RUN_FORMAT = "repro-run"
+RUN_VERSION = 1
+
+
+class StoreError(ValueError):
+    """Raised on malformed or incompatible stored documents."""
+
+
+def config_to_dict(config: ExperimentConfig) -> dict:
+    """A JSON-ready, field-complete view of an experiment configuration."""
+    return {f.name: getattr(config, f.name) for f in fields(config)}
+
+
+def config_from_dict(doc: dict) -> ExperimentConfig:
+    """Rebuild a configuration from :func:`config_to_dict` output."""
+    known = {f.name for f in fields(ExperimentConfig)}
+    unknown = set(doc) - known
+    if unknown:
+        raise StoreError(f"unknown ExperimentConfig fields: {sorted(unknown)}")
+    return ExperimentConfig(**doc)
+
+
+def objectives_to_dict(objectives: ObjectiveSet) -> dict:
+    """Exact JSON representation of the four raw objective values."""
+    return {obj.value: objectives.value(obj) for obj in OBJECTIVES}
+
+
+def objectives_from_dict(doc: dict) -> ObjectiveSet:
+    """Inverse of :func:`objectives_to_dict` (bit-exact: JSON round-trips
+    Python floats losslessly)."""
+    try:
+        return ObjectiveSet(
+            wait=float(doc[Objective.WAIT.value]),
+            sla=float(doc[Objective.SLA.value]),
+            reliability=float(doc[Objective.RELIABILITY.value]),
+            profitability=float(doc[Objective.PROFITABILITY.value]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreError(f"malformed objectives block: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Stable content identity of one simulation run.
+
+    The digest covers the full configuration, the policy name, the economic
+    model, and :data:`SCHEMA_VERSION` — everything the result depends on.
+    """
+
+    config: ExperimentConfig
+    policy: str
+    model: str
+    digest: str = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        payload = json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "config": config_to_dict(self.config),
+                "policy": self.policy,
+                "model": self.model,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        object.__setattr__(
+            self, "digest", hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        )
+
+    def document(self, objectives: ObjectiveSet) -> dict:
+        """The on-disk JSON document for this key's finished run."""
+        return {
+            "format": RUN_FORMAT,
+            "version": RUN_VERSION,
+            "schema": SCHEMA_VERSION,
+            "key": self.digest,
+            "policy": self.policy,
+            "model": self.model,
+            "config": config_to_dict(self.config),
+            "objectives": objectives_to_dict(objectives),
+        }
+
+
+def load_run_document(doc: dict) -> ObjectiveSet:
+    """Validate one run document and extract its objectives.
+
+    Raises :class:`StoreError` on any incompatibility; notably a document
+    written by a *newer* code revision gets an explicit upgrade message.
+    """
+    if doc.get("format") != RUN_FORMAT:
+        raise StoreError(f"not a {RUN_FORMAT} document: format={doc.get('format')!r}")
+    version = doc.get("version")
+    if version != RUN_VERSION:
+        if isinstance(version, int) and version > RUN_VERSION:
+            raise StoreError(
+                f"run document version {version} is newer than this code "
+                f"supports ({RUN_VERSION}); upgrade repro to read it"
+            )
+        raise StoreError(f"unsupported run document version {version!r}")
+    return objectives_from_dict(doc.get("objectives", {}))
+
+
+def atomic_write_text(path: Path, text: str) -> int:
+    """Write ``text`` to ``path`` atomically; returns the byte count.
+
+    The document lands under a temporary name in the same directory and is
+    renamed into place, so concurrent readers (other shards, a resumed
+    run) only ever see absent or complete files.
+    """
+    data = text.encode("utf-8")
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+    return len(data)
+
+
+class RunStore:
+    """Two-layer (memory + optional disk) store of finished runs.
+
+    Drop-in compatible with the historical ``RunCache``: ``get``/``put``
+    take ``(config, policy, model)``, and the ``hits``/``misses`` counters
+    are **caller-managed** (the pipeline and :func:`run_single` own the
+    logical access accounting, so serial and parallel grids report
+    identical statistics).
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
+        self._memory: dict[str, ObjectiveSet] = {}
+        self.hits = 0
+        self.misses = 0
+        self.cache_dir: Optional[Path] = None
+        if cache_dir is not None:
+            self.cache_dir = Path(cache_dir).expanduser()
+            (self.cache_dir / "runs").mkdir(parents=True, exist_ok=True)
+
+    # -- addressing ----------------------------------------------------------
+    @staticmethod
+    def key_for(config: ExperimentConfig, policy: str, model: str) -> RunKey:
+        return RunKey(config, policy, model)
+
+    def run_path(self, key: RunKey) -> Optional[Path]:
+        """Where this key's document lives on disk (None when memory-only)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / "runs" / key.digest[:2] / f"{key.digest}.json"
+
+    # -- lookup --------------------------------------------------------------
+    def get(
+        self, config: ExperimentConfig, policy: str, model: str
+    ) -> Optional[ObjectiveSet]:
+        """The stored result for the triple, or None.
+
+        Disk entries are promoted into the memory layer on first touch.
+        Never raises on bad disk state: a corrupt, truncated, or
+        incompatible document is treated as a miss (and counted under
+        ``runstore.corrupt_skipped``).
+        """
+        key = RunKey(config, policy, model)
+        value = self._memory.get(key.digest)
+        if value is not None:
+            if PERF.enabled:
+                PERF.incr("runstore.hits")
+            return value
+        value = self._load_disk(key)
+        if value is not None:
+            self._memory[key.digest] = value
+            if PERF.enabled:
+                PERF.incr("runstore.hits")
+                PERF.incr("runstore.disk_hits")
+            return value
+        if PERF.enabled:
+            PERF.incr("runstore.misses")
+        return None
+
+    def _load_disk(self, key: RunKey) -> Optional[ObjectiveSet]:
+        path = self.run_path(key)
+        if path is None:
+            return None
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            value = load_run_document(json.loads(text))
+        except (StoreError, ValueError):
+            # Truncated write, manual edit, or a foreign/newer document:
+            # resume by re-simulating rather than failing the whole grid.
+            if PERF.enabled:
+                PERF.incr("runstore.corrupt_skipped")
+            return None
+        if PERF.enabled:
+            PERF.incr("runstore.bytes_read", len(text.encode("utf-8")))
+        return value
+
+    # -- storage -------------------------------------------------------------
+    def put(
+        self,
+        config: ExperimentConfig,
+        policy: str,
+        model: str,
+        value: ObjectiveSet,
+    ) -> None:
+        """Record a finished run (checkpointing it to disk when configured)."""
+        key = RunKey(config, policy, model)
+        self._memory[key.digest] = value
+        path = self.run_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        n_bytes = atomic_write_text(
+            path, json.dumps(key.document(value), indent=1, sort_keys=True) + "\n"
+        )
+        self._append_index(key)
+        if PERF.enabled:
+            PERF.incr("runstore.bytes_written", n_bytes)
+            PERF.incr("runstore.runs_persisted")
+
+    def _append_index(self, key: RunKey) -> None:
+        assert self.cache_dir is not None
+        line = json.dumps(
+            {
+                "key": key.digest,
+                "policy": key.policy,
+                "model": key.model,
+                "seed": key.config.seed,
+                "n_jobs": key.config.n_jobs,
+            },
+            sort_keys=True,
+        )
+        with open(self.cache_dir / "index.jsonl", "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of runs in the memory layer (RunCache-compatible)."""
+        return len(self._memory)
+
+    def disk_digests(self) -> set[str]:
+        """Digests of every run document currently on disk."""
+        if self.cache_dir is None:
+            return set()
+        return {p.stem for p in (self.cache_dir / "runs").glob("??/*.json")}
+
+    def index_entries(self) -> Iterator[dict]:
+        """Metadata lines from ``index.jsonl`` (tolerant of bad lines)."""
+        if self.cache_dir is None:
+            return
+        path = self.cache_dir / "index.jsonl"
+        try:
+            lines = path.read_text().splitlines()
+        except OSError:
+            return
+        for line in lines:
+            try:
+                yield json.loads(line)
+            except ValueError:
+                continue
+
+    def stats(self) -> dict:
+        """Plain-dict summary for CLI/report output."""
+        on_disk = self.disk_digests() if self.cache_dir is not None else set()
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_runs": len(self._memory),
+            "disk_runs": len(on_disk),
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+        }

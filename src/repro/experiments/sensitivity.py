@@ -13,7 +13,9 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.objectives import OBJECTIVES, Objective
-from repro.experiments.runner import RunCache, run_single
+from repro.experiments.pipeline import execute_plan
+from repro.experiments.runner import RunCache
+from repro.experiments.runstore import RunStore
 from repro.experiments.scenarios import SCENARIOS, ExperimentConfig, Scenario
 
 
@@ -37,16 +39,27 @@ def tornado_analysis(
     model_name: str,
     base: ExperimentConfig,
     scenarios: Sequence[Scenario] = SCENARIOS,
-    cache: Optional[RunCache] = None,
+    cache: Optional[RunStore] = None,
+    n_workers: int = 1,
 ) -> dict[Objective, list[TornadoBar]]:
-    """Per-objective tornado bars, widest swing first."""
+    """Per-objective tornado bars, widest swing first.
+
+    All (default + per-scenario) runs are planned up front and executed
+    through the unified pipeline, so they dedupe against — and checkpoint
+    into — the given store and can fan out over a process pool.
+    """
     cache = cache if cache is not None else RunCache()
-    default = run_single(base, policy, model_name, cache)
+    plan = [(base, policy, model_name)] + [
+        (config, policy, model_name)
+        for scenario in scenarios
+        for config in scenario.configs(base)
+    ]
+    execute_plan(plan, cache, n_workers=n_workers)
+    default = cache.get(base, policy, model_name)
     out: dict[Objective, list[TornadoBar]] = {obj: [] for obj in OBJECTIVES}
     for scenario in scenarios:
         results = [
-            run_single(cfg, policy, model_name, cache)
-            for cfg in scenario.configs(base)
+            cache.get(cfg, policy, model_name) for cfg in scenario.configs(base)
         ]
         for objective in OBJECTIVES:
             values = [r.value(objective) for r in results]

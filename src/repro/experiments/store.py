@@ -23,14 +23,23 @@ from typing import Union
 from repro.core.objectives import Objective
 from repro.core.separate import SeparateRisk
 from repro.experiments.runner import GridAnalysis
+from repro.experiments.runstore import StoreError, atomic_write_text
 from repro.service.provider import ServiceResult
 
 FORMAT = "repro-grid"
 VERSION = 1
 
-
-class StoreError(ValueError):
-    """Raised on malformed or incompatible stored documents."""
+__all__ = [
+    "FORMAT",
+    "VERSION",
+    "StoreError",  # canonical home: repro.experiments.runstore
+    "grid_to_dict",
+    "grid_from_dict",
+    "save_grid",
+    "load_grid",
+    "outcomes_to_csv",
+    "save_outcomes",
+]
 
 
 def grid_to_dict(grid: GridAnalysis) -> dict:
@@ -60,8 +69,14 @@ def grid_from_dict(doc: dict) -> GridAnalysis:
     """Rebuild a grid analysis from its JSON representation."""
     if doc.get("format") != FORMAT:
         raise StoreError(f"not a {FORMAT} document: format={doc.get('format')!r}")
-    if doc.get("version") != VERSION:
-        raise StoreError(f"unsupported version {doc.get('version')!r}")
+    version = doc.get("version")
+    if version != VERSION:
+        if isinstance(version, int) and version > VERSION:
+            raise StoreError(
+                f"grid document version {version} is newer than this code "
+                f"supports ({VERSION}); upgrade repro to read it"
+            )
+        raise StoreError(f"unsupported version {version!r}")
     by_value = {o.value: o for o in Objective}
     try:
         separate = {
@@ -86,15 +101,24 @@ def grid_from_dict(doc: dict) -> GridAnalysis:
 
 
 def save_grid(grid: GridAnalysis, path: Union[str, Path]) -> Path:
-    """Write a grid analysis as JSON; returns the path."""
+    """Write a grid analysis as JSON (atomically); returns the path."""
     path = Path(path)
-    path.write_text(json.dumps(grid_to_dict(grid), indent=1, sort_keys=True))
+    atomic_write_text(path, json.dumps(grid_to_dict(grid), indent=1, sort_keys=True))
     return path
 
 
 def load_grid(path: Union[str, Path]) -> GridAnalysis:
-    """Read a grid analysis saved by :func:`save_grid`."""
-    return grid_from_dict(json.loads(Path(path).read_text()))
+    """Read a grid analysis saved by :func:`save_grid`.
+
+    A truncated or otherwise non-JSON file raises :class:`StoreError`
+    (with the decode error attached) rather than a bare ``json`` error, so
+    callers can treat every bad-document case uniformly.
+    """
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise StoreError(f"unreadable grid document {path}: {exc}") from exc
+    return grid_from_dict(doc)
 
 
 OUTCOME_COLUMNS = (

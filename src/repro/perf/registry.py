@@ -96,6 +96,17 @@ class PerfRegistry:
             stat = self.histograms[name] = StreamingStat()
         stat.observe(value)
 
+    def merge_counters(self, deltas: dict) -> None:
+        """Fold another registry's counter deltas into this one.
+
+        Used by the experiment pipeline to surface worker-process activity
+        (simulated jobs, engine events) in the parent's registry, which
+        otherwise only sees its own dispatch bookkeeping.
+        """
+        for name, value in deltas.items():
+            if value:
+                self.counters[name] = self.counters.get(name, 0) + value
+
     def add_time(self, name: str, seconds: float) -> None:
         """Accumulate ``seconds`` of wall-clock time under timer ``name``."""
         stat = self.timers.get(name)

@@ -88,6 +88,18 @@ def test_bench_grid_reports_walls_and_speedup():
     assert metrics["grid_unique_simulations"] == 6  # 1 scenario × 6 values × 1 policy
 
 
+def test_bench_grid_reports_warm_store_tier():
+    metrics = bench_grid(TINY)
+    assert metrics["grid_store_cold_wall_s"] > 0
+    assert metrics["grid_store_warm_wall_s"] > 0
+    # The warm pass re-reads every run from disk: no misses, all hits.
+    assert metrics["grid_warm_store_misses"] == 0
+    assert metrics["grid_warm_store_hits"] == 6  # every access served by the store
+    assert metrics["grid_warm_speedup"] == pytest.approx(
+        metrics["grid_store_cold_wall_s"] / metrics["grid_store_warm_wall_s"]
+    )
+
+
 def test_run_suite_writes_deterministic_workload_metadata(tmp_path):
     out1 = tmp_path / "run1"
     out2 = tmp_path / "run2"

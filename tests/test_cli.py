@@ -127,3 +127,78 @@ def test_recommend_command(capsys):
     assert code == 0
     assert "recommended policy:" in out
     assert "dominant risk driver" in out
+
+
+# -- run store commands --------------------------------------------------------
+
+
+def test_run_cache_dir_checkpoints_then_hits(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    argv = ("run", "FCFS-BF", "--jobs", "30", "--procs", "32",
+            "--cache-dir", store_dir)
+    code, out, _ = run_cli(capsys, *argv)
+    assert code == 0
+    assert "run checkpointed to" in out
+    code, out, _ = run_cli(capsys, *argv)
+    assert code == 0
+    assert "from run store" in out
+    assert "run store hit" in out
+
+
+def test_grid_command_cold_then_warm(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    argv = ("grid", "--model", "bid", "--policies", "FCFS-BF", "Libra",
+            "--scenario", "job mix", "--jobs", "20", "--procs", "16",
+            "--cache-dir", store_dir)
+    code, out, _ = run_cli(capsys, *argv)
+    assert code == 0
+    assert "grid complete" in out
+    assert "run store:" in out
+    cold_misses = int(out.split(" unique misses")[0].rsplit(" ", 1)[-1])
+    assert cold_misses > 0
+    code, out, _ = run_cli(capsys, *argv, "--resume")
+    assert code == 0
+    assert " 0 unique misses" in out
+    assert "grid complete" in out
+
+
+def test_grid_partial_shard_defers_then_finishes(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    base = ("grid", "--model", "bid", "--policies", "FCFS-BF", "Libra",
+            "--scenario", "job mix", "--jobs", "20", "--procs", "16",
+            "--cache-dir", store_dir)
+    code, out, _ = run_cli(capsys, *base, "--shard", "1/2")
+    assert code == 0
+    assert "partial shard complete" in out
+    assert "grid complete" not in out
+    code, out, _ = run_cli(capsys, *base, "--shard", "2/2")
+    assert code == 0
+    assert "partial shard complete" not in out
+    assert "grid complete" in out
+
+
+def test_grid_output_writes_grid_document(tmp_path, capsys):
+    out_path = tmp_path / "grid.json"
+    code, out, _ = run_cli(
+        capsys, "grid", "--model", "bid", "--policies", "FCFS-BF", "Libra",
+        "--scenario", "job mix", "--jobs", "20", "--procs", "16",
+        "--output", str(out_path),
+    )
+    assert code == 0
+    assert out_path.is_file()
+    assert "grid analysis written to" in out
+
+
+def test_grid_argument_validation(tmp_path, capsys):
+    code, _, err = run_cli(capsys, "grid", "--policies", "NotAPolicy")
+    assert code == 2
+    assert "unknown policies" in err
+    code, _, err = run_cli(capsys, "grid", "--shard", "3/2")
+    assert code == 2
+    assert "shard index" in err
+    code, _, err = run_cli(capsys, "grid", "--shard", "banana")
+    assert code == 2
+    assert "i/n" in err
+    code, _, err = run_cli(capsys, "grid", "--resume")
+    assert code == 2
+    assert "--resume requires --cache-dir" in err

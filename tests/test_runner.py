@@ -38,6 +38,30 @@ def test_invalid_arrival_factor():
         build_workload(SMALL.with_values(arrival_delay_factor=0.0))
 
 
+def test_build_workload_returns_freshly_owned_jobs():
+    # The builder memoises the expensive base trace, so the jobs it hands
+    # out must be clones: mutating one workload (as the simulation engine
+    # does) must never bleed into a later build from the same trace.
+    first = build_workload(SMALL)
+    snapshot = [(j.submit_time, j.runtime, j.estimate, j.deadline) for j in first]
+    for job in first:
+        job.submit_time = -1.0
+        job.estimate = 0.0
+    second = build_workload(SMALL)
+    assert [(j.submit_time, j.runtime, j.estimate, j.deadline) for j in second] == snapshot
+    assert all(a is not b for a, b in zip(first, second))
+
+
+def test_build_workload_variants_do_not_cross_contaminate():
+    # Scaled arrivals and perturbed estimates are derived per call; the
+    # shared trace must keep its original values throughout.
+    exact = build_workload(SMALL.with_values(inaccuracy_pct=0.0))
+    build_workload(SMALL.with_values(arrival_delay_factor=0.1, inaccuracy_pct=100.0))
+    again = build_workload(SMALL.with_values(inaccuracy_pct=0.0))
+    assert [j.submit_time for j in again] == [j.submit_time for j in exact]
+    assert [j.estimate for j in again] == [j.estimate for j in exact]
+
+
 def test_inaccuracy_config_controls_estimates():
     exact = build_workload(SMALL.with_values(inaccuracy_pct=0.0))
     trace = build_workload(SMALL.with_values(inaccuracy_pct=100.0))

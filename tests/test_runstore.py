@@ -1,0 +1,149 @@
+"""Unit tests for the content-addressed run store (RunKey + RunStore)."""
+
+import json
+
+import pytest
+
+from repro.core.objectives import ObjectiveSet
+from repro.experiments.runstore import (
+    RUN_VERSION,
+    RunKey,
+    RunStore,
+    StoreError,
+    config_from_dict,
+    config_to_dict,
+    load_run_document,
+    objectives_from_dict,
+    objectives_to_dict,
+)
+from repro.experiments.scenarios import ExperimentConfig
+
+CONFIG = ExperimentConfig(n_jobs=50, total_procs=32)
+OBJS = ObjectiveSet(wait=123.456789, sla=87.5, reliability=92.25, profitability=-3.125)
+
+
+# -- RunKey --------------------------------------------------------------------
+
+
+def test_run_key_is_stable_across_processes():
+    # The digest must depend only on content, never on object identity or
+    # dict ordering — recomputing from an equal config yields the same hash.
+    a = RunKey(CONFIG, "FCFS-BF", "bid")
+    b = RunKey(ExperimentConfig(n_jobs=50, total_procs=32), "FCFS-BF", "bid")
+    assert a.digest == b.digest
+    assert len(a.digest) == 64  # sha256 hex
+
+
+def test_run_key_distinguishes_every_input():
+    base = RunKey(CONFIG, "FCFS-BF", "bid").digest
+    assert RunKey(CONFIG.with_values(seed=1), "FCFS-BF", "bid").digest != base
+    assert RunKey(CONFIG, "EDF-BF", "bid").digest != base
+    assert RunKey(CONFIG, "FCFS-BF", "commodity").digest != base
+
+
+def test_config_dict_roundtrip():
+    config = CONFIG.with_values(arrival_delay_factor=0.1, inaccuracy_pct=40.0)
+    assert config_from_dict(config_to_dict(config)) == config
+    with pytest.raises(StoreError):
+        config_from_dict({"not_a_field": 1})
+
+
+def test_objectives_roundtrip_is_bit_exact():
+    back = objectives_from_dict(json.loads(json.dumps(objectives_to_dict(OBJS))))
+    assert back == OBJS  # float repr round-trips losslessly through JSON
+
+
+# -- RunStore, memory layer ----------------------------------------------------
+
+
+def test_memory_store_get_put():
+    store = RunStore()
+    assert store.get(CONFIG, "FCFS-BF", "bid") is None
+    store.put(CONFIG, "FCFS-BF", "bid", OBJS)
+    assert store.get(CONFIG, "FCFS-BF", "bid") == OBJS
+    assert len(store) == 1
+    assert store.run_path(RunKey(CONFIG, "FCFS-BF", "bid")) is None
+
+
+# -- RunStore, disk layer ------------------------------------------------------
+
+
+def test_disk_store_roundtrip_across_instances(tmp_path):
+    RunStore(tmp_path).put(CONFIG, "FCFS-BF", "bid", OBJS)
+    fresh = RunStore(tmp_path)
+    assert len(fresh) == 0  # memory layer cold
+    assert fresh.get(CONFIG, "FCFS-BF", "bid") == OBJS  # served from disk
+    assert len(fresh) == 1  # promoted into memory
+
+
+def test_disk_layout_and_index(tmp_path):
+    store = RunStore(tmp_path)
+    store.put(CONFIG, "FCFS-BF", "bid", OBJS)
+    store.put(CONFIG, "EDF-BF", "bid", OBJS)
+    digests = store.disk_digests()
+    assert digests == {
+        RunKey(CONFIG, "FCFS-BF", "bid").digest,
+        RunKey(CONFIG, "EDF-BF", "bid").digest,
+    }
+    for digest in digests:
+        path = tmp_path / "runs" / digest[:2] / f"{digest}.json"
+        assert path.is_file()
+        doc = json.loads(path.read_text())
+        assert doc["key"] == digest
+    entries = list(store.index_entries())
+    assert {e["policy"] for e in entries} == {"FCFS-BF", "EDF-BF"}
+    assert all(e["key"] in digests for e in entries)
+
+
+def test_corrupt_document_is_a_miss_not_a_crash(tmp_path):
+    store = RunStore(tmp_path)
+    store.put(CONFIG, "FCFS-BF", "bid", OBJS)
+    path = store.run_path(RunKey(CONFIG, "FCFS-BF", "bid"))
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])  # truncate
+    fresh = RunStore(tmp_path)
+    assert fresh.get(CONFIG, "FCFS-BF", "bid") is None
+    # And the store recovers by overwriting the bad entry.
+    fresh.put(CONFIG, "FCFS-BF", "bid", OBJS)
+    assert RunStore(tmp_path).get(CONFIG, "FCFS-BF", "bid") == OBJS
+
+
+def test_foreign_and_newer_documents_are_skipped(tmp_path):
+    store = RunStore(tmp_path)
+    store.put(CONFIG, "FCFS-BF", "bid", OBJS)
+    path = store.run_path(RunKey(CONFIG, "FCFS-BF", "bid"))
+    doc = json.loads(path.read_text())
+    doc["version"] = RUN_VERSION + 1
+    path.write_text(json.dumps(doc))
+    assert RunStore(tmp_path).get(CONFIG, "FCFS-BF", "bid") is None
+    doc["version"] = RUN_VERSION
+    doc["format"] = "something-else"
+    path.write_text(json.dumps(doc))
+    assert RunStore(tmp_path).get(CONFIG, "FCFS-BF", "bid") is None
+
+
+def test_load_run_document_reports_newer_version_clearly():
+    key = RunKey(CONFIG, "FCFS-BF", "bid")
+    doc = key.document(OBJS)
+    doc["version"] = RUN_VERSION + 7
+    with pytest.raises(StoreError, match="newer"):
+        load_run_document(doc)
+    with pytest.raises(StoreError, match="format"):
+        load_run_document({"format": "nope"})
+
+
+def test_atomic_writes_leave_no_temp_files(tmp_path):
+    store = RunStore(tmp_path)
+    for policy in ("FCFS-BF", "EDF-BF", "Libra"):
+        store.put(CONFIG, policy, "bid", OBJS)
+    leftovers = [p for p in tmp_path.rglob("*.tmp*")]
+    assert leftovers == []
+
+
+def test_stats_summary(tmp_path):
+    store = RunStore(tmp_path)
+    store.put(CONFIG, "FCFS-BF", "bid", OBJS)
+    stats = store.stats()
+    assert stats["memory_runs"] == 1
+    assert stats["disk_runs"] == 1
+    assert stats["cache_dir"] == str(tmp_path)
+    assert RunStore().stats()["cache_dir"] is None

@@ -72,6 +72,34 @@ def test_wrong_format_rejected():
         grid_from_dict({"format": "repro-grid", "version": 1, "separate": {"SLA": {"p": {"s": [0.5]}}}})
 
 
+def test_newer_version_names_the_remedy(tmp_path):
+    # A document written by a future repro must fail with a message that
+    # says *why* (newer version) and *what to do* (upgrade) — not a
+    # generic "unsupported" that reads like corruption.
+    grid = small_grid()
+    path = save_grid(grid, tmp_path / "grid.json")
+    doc = json.loads(path.read_text())
+    doc["version"] = doc["version"] + 1
+    path.write_text(json.dumps(doc))
+    with pytest.raises(StoreError, match="newer.*upgrade"):
+        load_grid(path)
+    # Non-integer junk versions still get the generic rejection.
+    with pytest.raises(StoreError, match="unsupported"):
+        grid_from_dict({"format": "repro-grid", "version": "2.0"})
+
+
+def test_truncated_grid_document_is_a_store_error(tmp_path):
+    grid = small_grid()
+    path = save_grid(grid, tmp_path / "grid.json")
+    text = path.read_text()
+    path.write_text(text[: len(text) // 2])
+    with pytest.raises(StoreError, match="unreadable"):
+        load_grid(path)
+    # Re-saving over the truncated file recovers it completely.
+    save_grid(grid, path)
+    assert grid_to_dict(load_grid(path)) == grid_to_dict(grid)
+
+
 def run_small_service():
     jobs = [
         Job(job_id=1, submit_time=0.0, runtime=50.0, estimate=50.0, procs=1,
