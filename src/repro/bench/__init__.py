@@ -65,6 +65,12 @@ class BenchTier:
     grid_model: str
     grid_workers: int
     seed: int = 0
+    # Fault-injected scenario variant (same scenario workload under an
+    # exponential failure regime; checkpoint recovery exercises the most
+    # bookkeeping per failure).
+    fault_mtbf: float = 14_400.0
+    fault_mttr: float = 600.0
+    fault_recovery: str = "checkpoint"
 
 
 QUICK = BenchTier(
@@ -95,7 +101,7 @@ FULL = BenchTier(
     scenario_model="bid",
     grid_jobs=120,
     grid_procs=128,
-    grid_scenarios=("job mix", "workload", "deadline", "budget"),
+    grid_scenarios=("job mix", "workload", "deadline ratio", "budget ratio"),
     grid_policies=("FCFS-BF", "Libra", "LibraRiskD"),
     grid_model="bid",
     grid_workers=2,
@@ -226,6 +232,37 @@ def bench_scenario(tier: BenchTier) -> dict:
     }
 
 
+def bench_faults(tier: BenchTier) -> dict:
+    """The scenario simulation again, under fault injection.
+
+    Measures the fully-loaded dependability path: node tracking on, failure
+    and repair events interleaved with the workload, killed jobs recovered
+    from checkpoints.  The ``faults_*`` counts are workload invariants of
+    the (seed, config) pair — they change only when fault semantics change,
+    so they double as a cheap regression canary in BENCH comparisons.
+    """
+    config = ExperimentConfig(
+        n_jobs=tier.scenario_jobs, total_procs=tier.scenario_procs, seed=tier.seed
+    ).with_values(
+        fault_mtbf=tier.fault_mtbf,
+        fault_mttr=tier.fault_mttr,
+        fault_recovery=tier.fault_recovery,
+    )
+    with capture() as perf:
+        t0 = time.perf_counter()
+        run_single(config, tier.scenario_policy, tier.scenario_model)
+        wall = time.perf_counter() - t0
+        counters = dict(perf.counters)
+    wall = max(wall, 1e-12)
+    return {
+        "faulty_scenario_wall_s": wall,
+        "faulty_scenario_jobs_per_sec": tier.scenario_jobs / wall,
+        "faults_injected": counters.get("faults.injected", 0),
+        "faults_jobs_killed": counters.get("faults.jobs_killed", 0),
+        "faults_checkpoint_restores": counters.get("faults.checkpoint_restores", 0),
+    }
+
+
 def bench_grid(tier: BenchTier) -> dict:
     """Reduced Table VI grid: serial vs process-pool vs warm run store.
 
@@ -289,6 +326,9 @@ def _sim_workload(tier: BenchTier) -> dict:
         "scenario_procs": tier.scenario_procs,
         "scenario_policy": tier.scenario_policy,
         "scenario_model": tier.scenario_model,
+        "fault_mtbf": tier.fault_mtbf,
+        "fault_mttr": tier.fault_mttr,
+        "fault_recovery": tier.fault_recovery,
         "seed": tier.seed,
     }
 
@@ -339,6 +379,7 @@ def run_suite(
     if only in (None, "sim"):
         metrics = bench_engine(tier)
         metrics.update(bench_scenario(tier))
+        metrics.update(bench_faults(tier))
         path = write_bench(out / "BENCH_sim.json", "sim", tier, _sim_workload(tier), metrics)
         written["sim"] = path
         echo(format_table(

@@ -6,9 +6,13 @@ Commands
 ``table``       regenerate one of the paper's tables (1–6)
 ``run``         simulate one policy on one configuration
 ``grid``        run a Table VI grid through the resumable run store
+``faults``      MTBF sweep: availability-vs-risk table under node failures
 ``trace``       show statistics of an SWF trace file (or the synthetic one)
 ``recommend``   a priori policy recommendation for a model/set
 ``list``        list policies, scenarios, objectives
+
+``run`` and ``grid`` accept ``--mtbf`` (plus ``--mttr``, ``--recovery``,
+``--fault-model``) to inject node failures into any simulation.
 
 Everything prints plain text (the same renderings the benchmark exhibits
 use) and exits non-zero on bad arguments, so the CLI is scriptable.
@@ -37,9 +41,18 @@ from repro.workload.synthetic import SDSC_SP2, generate_trace, trace_statistics
 
 
 def _config_from_args(args) -> ExperimentConfig:
-    return ExperimentConfig(
+    config = ExperimentConfig(
         n_jobs=args.jobs, total_procs=args.procs, seed=args.seed
     ).for_set(args.set)
+    if getattr(args, "mtbf", None) is not None:
+        config = config.with_values(
+            fault_enabled=True,
+            fault_model=args.fault_model,
+            fault_mtbf=args.mtbf,
+            fault_mttr=args.mttr,
+            fault_recovery=args.recovery,
+        )
+    return config
 
 
 def _add_scale_options(parser: argparse.ArgumentParser) -> None:
@@ -48,6 +61,22 @@ def _add_scale_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument("--set", choices=("A", "B"), default="A",
                         help="estimate set: A=accurate, B=trace estimates")
+
+
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("fault injection")
+    group.add_argument("--mtbf", type=float, default=None, metavar="SECONDS",
+                       help="enable node failures with this per-node mean "
+                            "time between failures")
+    group.add_argument("--mttr", type=float, default=3600.0, metavar="SECONDS",
+                       help="mean time to repair a failed node")
+    group.add_argument("--recovery", choices=("resubmit", "checkpoint"),
+                       default="resubmit",
+                       help="recovery of failure-killed jobs: rerun from "
+                            "scratch, or resume from periodic checkpoints")
+    group.add_argument("--fault-model", choices=("exponential", "weibull"),
+                       default="exponential",
+                       help="time-to-failure distribution")
 
 
 def cmd_figure(args) -> int:
@@ -115,7 +144,11 @@ def cmd_run(args) -> int:
         store.misses += 1
     jobs = build_workload(config)
     service = CommercialComputingService(
-        make_policy(args.policy), make_model(args.model), total_procs=config.total_procs
+        make_policy(args.policy),
+        make_model(args.model),
+        total_procs=config.total_procs,
+        fault_config=config.faults if config.faults.enabled else None,
+        fault_seed=config.seed,
     )
     with perf_capture() as perf:
         result = service.run(jobs)
@@ -133,6 +166,14 @@ def cmd_run(args) -> int:
         {"metric": "total utility", "value": result.ledger.total_utility},
         {"metric": "penalties", "value": result.ledger.total_penalties},
     ], title=f"{args.policy} on {args.model} model (Set {args.set}, {config.n_jobs} jobs)"))
+    if result.fault_stats is not None:
+        fs = result.fault_stats
+        print(
+            f"faults: {fs['failures']} failures, {fs['jobs_killed']} jobs killed, "
+            f"{fs['failed_slas']} SLAs failed, observed availability "
+            f"{fs['observed_availability']:.4f} "
+            f"(recovery={config.faults.recovery})"
+        )
     elapsed = max(elapsed, 1e-12)
     print(
         f"throughput: {len(jobs) / elapsed:,.0f} jobs/s, "
@@ -218,6 +259,37 @@ def cmd_grid(args) -> int:
     if args.output:
         path = save_grid(grid, args.output)
         print(f"grid analysis written to {path}")
+    return 0
+
+
+def cmd_faults(args) -> int:
+    from repro.experiments.faultsweep import FAULT_MTBF_LEVELS, run_fault_sweep
+
+    policies = args.policies or (
+        COMMODITY_POLICIES if args.model == "commodity" else BID_POLICIES
+    )
+    unknown = [p for p in policies if p not in POLICIES]
+    if unknown:
+        print(f"error: unknown policies {unknown} (see `list`)", file=sys.stderr)
+        return 2
+    base = ExperimentConfig(
+        n_jobs=args.jobs, total_procs=args.procs, seed=args.seed
+    ).for_set(args.set)
+    store = RunStore(args.cache_dir) if args.cache_dir else RunCache()
+    result = run_fault_sweep(
+        policies,
+        args.model,
+        base,
+        mtbfs=args.levels or FAULT_MTBF_LEVELS,
+        mttr=args.mttr,
+        recovery=args.recovery,
+        fault_model=args.fault_model,
+        cache=store,
+    )
+    print(result.table())
+    if args.cache_dir:
+        print(f"\nrun store: {store.cache_dir} "
+              f"({store.stats()['disk_runs']} runs on disk)")
     return 0
 
 
@@ -366,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persistent run store: reuse a cached result and "
                         "checkpoint new ones")
     _add_scale_options(p)
+    _add_fault_options(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -392,7 +465,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None,
                    help="write the assembled grid analysis JSON here")
     _add_scale_options(p)
+    _add_fault_options(p)
     p.set_defaults(fn=cmd_grid)
+
+    p = sub.add_parser(
+        "faults",
+        help="MTBF sweep: availability-vs-risk table under node failures",
+    )
+    p.add_argument("--model", choices=("commodity", "bid"), default="bid")
+    p.add_argument("--policies", nargs="+", default=None,
+                   help="policy subset (default: all policies of the model)")
+    p.add_argument("--levels", nargs="+", type=float, default=None,
+                   metavar="SECONDS", help="MTBF levels to sweep "
+                   "(default: 6h, 12h, 1d, 2d, 4d, 8d)")
+    p.add_argument("--mttr", type=float, default=3600.0, metavar="SECONDS",
+                   help="mean time to repair a failed node")
+    p.add_argument("--recovery", choices=("resubmit", "checkpoint"),
+                   default="resubmit", help="recovery of failure-killed jobs")
+    p.add_argument("--fault-model", choices=("exponential", "weibull"),
+                   default="exponential", help="time-to-failure distribution")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed run store directory")
+    _add_scale_options(p)
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("trace", help="workload statistics (SWF or synthetic)")
     p.add_argument("--file", help="SWF trace file")

@@ -93,6 +93,12 @@ class SpaceSharedCluster:
             self._free_nodes = []
         self.free_procs = self.total_procs
         self._running: dict[int, RunningJob] = {}
+        #: nodes currently failed (fault injection); never free nor running.
+        self._down: set[int] = set()
+        # Homogeneous clusters skip per-node bookkeeping entirely (the fast
+        # path the paper's SDSC SP2 uses); fault injection needs to know
+        # which job holds which node, so the injector switches tracking on.
+        self._track_nodes = self.heterogeneous
 
     # ------------------------------------------------------------------
     def can_fit(self, procs: int) -> bool:
@@ -129,7 +135,7 @@ class SpaceSharedCluster:
         if max_runtime is not None and max_runtime <= 0:
             raise ValueError("max_runtime must be positive")
         self.free_procs -= job.procs
-        if self.heterogeneous:
+        if self._track_nodes:
             nodes, speed = self._allocate_nodes(job.procs)
         else:
             nodes, speed = (), 1.0
@@ -151,13 +157,83 @@ class SpaceSharedCluster:
     def _complete(self, record: RunningJob, on_finish) -> None:
         del self._running[record.job.job_id]
         self.free_procs += record.job.procs
-        if self.heterogeneous:
+        if self._track_nodes:
             self._free_nodes.extend(record.nodes)
             self._free_nodes.sort(key=lambda i: (-self.nodes[i].speed_factor, i))
         assert self.free_procs <= self.total_procs
         if PERF.enabled:
             PERF.incr("cluster.space.jobs_completed")
         on_finish(record.job, self.sim.now)
+
+    # -- fault injection ------------------------------------------------
+    def enable_node_tracking(self) -> None:
+        """Switch a homogeneous cluster to per-node bookkeeping.
+
+        The fault injector needs to know which job holds which node; the
+        heterogeneous path already tracks that, so this only materialises
+        the free list on homogeneous machines.  Must be called before any
+        job starts (the injector calls it at t=0).
+        """
+        if self._track_nodes:
+            return
+        if self._running:
+            raise RuntimeError("cannot enable node tracking with jobs running")
+        self._track_nodes = True
+        self._free_nodes = list(range(self.total_procs))
+
+    def fail_node(self, node_id: int) -> list[tuple[Job, float]]:
+        """Take ``node_id`` down; return ``(job, progress)`` for jobs killed.
+
+        A failed node leaves the free pool until :meth:`repair_node`.  A job
+        holding the node is terminated: its other nodes return to the free
+        list and its completion event is cancelled.  ``progress`` is the
+        reference-node seconds of work done at the instant of failure.
+        """
+        if not self._track_nodes:
+            raise RuntimeError("fail_node requires node tracking (enable_node_tracking)")
+        if not 0 <= node_id < self.total_procs:
+            raise ValueError(f"no such node: {node_id}")
+        if node_id in self._down:
+            raise ValueError(f"node {node_id} is already down")
+        self._down.add(node_id)
+        if node_id in self._free_nodes:
+            self._free_nodes.remove(node_id)
+            self.free_procs -= 1
+            return []
+        victim = None
+        for record in self._running.values():
+            if node_id in record.nodes:
+                victim = record
+                break
+        if victim is None:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"node {node_id} is neither free nor held by a running job"
+            )
+        if victim.completion is not None:
+            victim.completion.cancel()
+        del self._running[victim.job.job_id]
+        survivors = [i for i in victim.nodes if i != node_id]
+        self._free_nodes.extend(survivors)
+        self._free_nodes.sort(key=lambda i: (-self.nodes[i].speed_factor, i))
+        # The failed node stays out of the pool; its procs slot is down too.
+        self.free_procs += victim.job.procs - 1
+        progress = (self.sim.now - victim.start_time) * victim.speed
+        progress = min(max(progress, 0.0), victim.job.runtime)
+        if PERF.enabled:
+            PERF.incr("cluster.space.jobs_failed")
+        return [(victim.job, progress)]
+
+    def repair_node(self, node_id: int) -> None:
+        """Bring a failed node back into the free pool."""
+        if node_id not in self._down:
+            raise ValueError(f"node {node_id} is not down")
+        self._down.discard(node_id)
+        self._free_nodes.append(node_id)
+        self._free_nodes.sort(key=lambda i: (-self.nodes[i].speed_factor, i))
+        self.free_procs += 1
+
+    def down_nodes(self) -> frozenset[int]:
+        return frozenset(self._down)
 
     # ------------------------------------------------------------------
     @property

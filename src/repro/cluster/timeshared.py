@@ -96,6 +96,8 @@ class TimeSharedCluster:
         self.node_jobs: list[set[int]] = [set() for _ in range(self.total_procs)]
         self._states: dict[int, TSJobState] = {}
         self._last_update = sim.now
+        #: nodes currently failed (fault injection); excluded from admission.
+        self._down: set[int] = set()
 
     # -- admission helpers -------------------------------------------------
     def node_share_load(self, node: int) -> float:
@@ -133,6 +135,8 @@ class TimeSharedCluster:
         )
         candidates = []
         for node in range(self.total_procs):
+            if node in self._down:
+                continue
             node_set = self.node_jobs[node]
             if exclude_risky and not risky.isdisjoint(node_set):
                 continue
@@ -160,6 +164,11 @@ class TimeSharedCluster:
             raise ValueError(f"share must be in (0, 1], got {share}")
         if job.job_id in self._states:
             raise ValueError(f"job {job.job_id} is already running")
+        if self._down and not self._down.isdisjoint(nodes):
+            raise ValueError(
+                f"cannot admit job {job.job_id} on failed node(s) "
+                f"{sorted(self._down.intersection(nodes))}"
+            )
         self._sync_progress()
         state = TSJobState(
             job=job,
@@ -269,6 +278,55 @@ class TimeSharedCluster:
             * max(0.0, min(self._states[j].job.absolute_deadline - now, window))
             for j in self.node_jobs[node]
         )
+
+    # -- fault injection -----------------------------------------------------
+    def enable_node_tracking(self) -> None:
+        """No-op: the time-shared cluster always tracks per-node placement.
+
+        Present so the fault injector can call one uniform method on any
+        cluster type.
+        """
+
+    def fail_node(self, node_id: int) -> list[tuple[Job, float]]:
+        """Take ``node_id`` down; kill every job with a share slot on it.
+
+        Returns ``(job, progress)`` pairs, where ``progress`` is the
+        dedicated-CPU seconds of work the job had completed.  Shares the
+        victims held on *other* nodes are released and the surviving jobs'
+        rates are recomputed.
+        """
+        if not 0 <= node_id < self.total_procs:
+            raise ValueError(f"no such node: {node_id}")
+        if node_id in self._down:
+            raise ValueError(f"node {node_id} is already down")
+        self._sync_progress()
+        self._down.add(node_id)
+        victims = [self._states[jid] for jid in sorted(self.node_jobs[node_id])]
+        killed: list[tuple[Job, float]] = []
+        for state in victims:
+            if state.completion is not None:
+                state.completion.cancel()
+            del self._states[state.job.job_id]
+            for node in state.nodes:
+                self.committed[node] -= state.share
+                if abs(self.committed[node]) < SHARE_EPS:
+                    self.committed[node] = 0.0
+                self.node_jobs[node].discard(state.job.job_id)
+            progress = min(max(state.consumed, 0.0), state.job.runtime)
+            killed.append((state.job, progress))
+        if PERF.enabled and killed:
+            PERF.incr("cluster.time.jobs_failed", len(killed))
+        self._reschedule_all()
+        return killed
+
+    def repair_node(self, node_id: int) -> None:
+        """Bring a failed node back; it becomes admissible again."""
+        if node_id not in self._down:
+            raise ValueError(f"node {node_id} is not down")
+        self._down.discard(node_id)
+
+    def down_nodes(self) -> frozenset[int]:
+        return frozenset(self._down)
 
     # -- introspection -------------------------------------------------------
     def active_jobs(self) -> list[TSJobState]:

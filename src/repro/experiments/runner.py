@@ -120,7 +120,11 @@ def run_single(
     t0 = time.perf_counter()
     jobs = build_workload(config)
     service = CommercialComputingService(
-        make_policy(policy_name), make_model(model_name), total_procs=config.total_procs
+        make_policy(policy_name),
+        make_model(model_name),
+        total_procs=config.total_procs,
+        fault_config=config.faults if config.faults.enabled else None,
+        fault_seed=config.seed,
     )
     objectives = service.run(jobs).objectives()
     if PERF.enabled:

@@ -41,13 +41,18 @@ from typing import Iterator, Optional, Union
 
 from repro.core.objectives import OBJECTIVES, Objective, ObjectiveSet
 from repro.experiments.scenarios import ExperimentConfig
+from repro.faults.config import FaultConfig
 from repro.perf.registry import PERF
 
 #: Version of the run-content schema hashed into every :class:`RunKey`.
 #: Bump when a code change alters what a cached result means (workload
 #: synthesis, objective measurement, policy semantics): old cache entries
 #: then simply stop matching instead of being silently wrong.
-SCHEMA_VERSION = 1
+#:
+#: History: 2 — ``ExperimentConfig`` grew the nested ``faults`` block
+#: (fault injection); grids cached under schema 1 predate dependability
+#: semantics and must re-run.
+SCHEMA_VERSION = 2
 
 #: Format marker / document version of one on-disk run document.
 RUN_FORMAT = "repro-run"
@@ -59,8 +64,17 @@ class StoreError(ValueError):
 
 
 def config_to_dict(config: ExperimentConfig) -> dict:
-    """A JSON-ready, field-complete view of an experiment configuration."""
-    return {f.name: getattr(config, f.name) for f in fields(config)}
+    """A JSON-ready, field-complete view of an experiment configuration.
+
+    The nested ``faults`` block serialises through
+    :meth:`repro.faults.config.FaultConfig.to_dict` so the whole document
+    stays plain JSON (the scripted schedule becomes lists of lists).
+    """
+    doc = {}
+    for f in fields(config):
+        value = getattr(config, f.name)
+        doc[f.name] = value.to_dict() if f.name == "faults" else value
+    return doc
 
 
 def config_from_dict(doc: dict) -> ExperimentConfig:
@@ -69,7 +83,13 @@ def config_from_dict(doc: dict) -> ExperimentConfig:
     unknown = set(doc) - known
     if unknown:
         raise StoreError(f"unknown ExperimentConfig fields: {sorted(unknown)}")
-    return ExperimentConfig(**doc)
+    kwargs = dict(doc)
+    if "faults" in kwargs:
+        try:
+            kwargs["faults"] = FaultConfig.from_dict(kwargs["faults"])
+        except (TypeError, ValueError) as exc:
+            raise StoreError(f"malformed faults block: {exc}") from exc
+    return ExperimentConfig(**kwargs)
 
 
 def objectives_to_dict(objectives: ObjectiveSet) -> dict:

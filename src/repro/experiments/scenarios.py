@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Sequence
 
+from repro.faults.config import NO_FAULTS, FaultConfig
 from repro.workload.qos import QoSParameter, QoSSpec
 
 #: the six varying values shared by the bias / ratio / low-mean scenarios.
@@ -55,6 +56,8 @@ class ExperimentConfig:
     deadline_low_mean: float = 4.0
     budget_low_mean: float = 4.0
     penalty_low_mean: float = 4.0
+    # -- dependability (disabled by default: the paper's failure-free SP2) --
+    faults: FaultConfig = NO_FAULTS
 
     def qos_spec(self) -> QoSSpec:
         """The QoS synthesis spec this configuration induces."""
@@ -78,6 +81,19 @@ class ExperimentConfig:
         )
 
     def with_values(self, **kwargs) -> "ExperimentConfig":
+        """``replace`` plus virtual ``fault_*`` fields.
+
+        ``fault_mtbf=…`` rewrites ``faults.mtbf`` (and implies
+        ``enabled=True``), so fault knobs sweep exactly like any Table VI
+        knob — which is what lets :class:`Scenario` vary MTBF.
+        """
+        fault_kwargs = {
+            k[len("fault_"):]: v for k, v in kwargs.items() if k.startswith("fault_")
+        }
+        if fault_kwargs:
+            kwargs = {k: v for k, v in kwargs.items() if not k.startswith("fault_")}
+            fault_kwargs.setdefault("enabled", True)
+            kwargs["faults"] = self.faults.with_values(**fault_kwargs)
         return replace(self, **kwargs)
 
     def for_set(self, set_name: str) -> "ExperimentConfig":

@@ -1,0 +1,47 @@
+"""Fault injection and dependability (`repro.faults`).
+
+The paper's risk analysis assumes perfectly reliable nodes, yet a
+commercial provider's dominant source of deadline misses in production is
+resource failure.  This subsystem layers a failure/repair process onto the
+discrete-event simulation — the same architectural move Dobre et al. make
+for dependability simulation on grids, and that CloudSim ships as a core
+reliability layer rather than a per-experiment hack:
+
+- :mod:`repro.faults.config` — :class:`FaultConfig`, the experiment-level
+  description of the failure regime (MTBF/MTTR, distribution, recovery
+  discipline).  It is a field of every
+  :class:`~repro.experiments.scenarios.ExperimentConfig`, so faulty runs
+  are content-addressed in the run store exactly like reliable ones.
+- :mod:`repro.faults.models` — pluggable failure/repair processes:
+  exponential and Weibull MTBF/MTTR draws, plus a deterministic scripted
+  schedule used by tests and CI smoke jobs.
+- :mod:`repro.faults.injector` — the :class:`FaultInjector` that schedules
+  node-down/node-up events on the :class:`~repro.sim.engine.Simulator`,
+  marks nodes unavailable on the cluster, and hands killed jobs to the
+  policy's recovery path (resubmit or checkpoint-restore).
+
+Every stochastic draw comes from dedicated ``faults.node<i>`` substreams of
+:class:`~repro.sim.rng.RngStreams`, so enabling fault injection never
+perturbs the workload synthesis and runs stay bit-for-bit reproducible.
+"""
+
+from repro.faults.config import FaultConfig
+from repro.faults.injector import FaultInjector, FaultKill
+from repro.faults.models import (
+    ExponentialFailures,
+    FailureProcess,
+    ScriptedFailures,
+    WeibullFailures,
+    make_failure_process,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultKill",
+    "FailureProcess",
+    "ExponentialFailures",
+    "WeibullFailures",
+    "ScriptedFailures",
+    "make_failure_process",
+]

@@ -1,0 +1,117 @@
+"""Experiment-level description of a failure regime.
+
+:class:`FaultConfig` is deliberately dependency-free (plain dataclass, no
+numpy, no simulator imports): it is embedded in
+:class:`~repro.experiments.scenarios.ExperimentConfig`, hashed into every
+:class:`~repro.experiments.runstore.RunKey`, and serialised into run-store
+documents, so it must be frozen, hashable, and JSON round-trippable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+#: recovery disciplines applied to jobs killed by a node failure.
+RECOVERY_MODES = ("resubmit", "checkpoint")
+#: supported failure/repair processes.
+FAULT_MODELS = ("exponential", "weibull", "scripted")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """One failure regime: who fails, how often, and how jobs recover.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  Disabled (the default) means no injector is built
+        and the simulation path is byte-identical to a fault-free build.
+    model:
+        ``"exponential"`` or ``"weibull"`` MTBF/MTTR processes, or
+        ``"scripted"`` to replay :attr:`schedule` deterministically.
+    mtbf:
+        Mean time between failures *per node*, in simulated seconds.
+    mttr:
+        Mean time to repair a failed node, in simulated seconds.
+    weibull_shape:
+        Shape parameter of the Weibull time-to-failure distribution
+        (> 1 models wear-out, < 1 infant mortality; 1 is exponential).
+    recovery:
+        ``"resubmit"`` — a killed job loses all progress and re-enters the
+        policy's admission path; ``"checkpoint"`` — the job resumes from
+        its last periodic checkpoint, paying :attr:`checkpoint_overhead`.
+    checkpoint_interval:
+        Seconds of completed work between checkpoints.
+    checkpoint_overhead:
+        Restore cost in seconds added to the remaining runtime when a job
+        resumes from a checkpoint.
+    schedule:
+        Scripted model only: ``(fail_time, node_id, downtime)`` triples in
+        simulated seconds, applied verbatim.
+    """
+
+    enabled: bool = False
+    model: str = "exponential"
+    mtbf: float = 4 * 86_400.0
+    mttr: float = 3_600.0
+    weibull_shape: float = 1.5
+    recovery: str = "resubmit"
+    checkpoint_interval: float = 1_800.0
+    checkpoint_overhead: float = 60.0
+    schedule: tuple[tuple[float, int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.model not in FAULT_MODELS:
+            raise ValueError(f"unknown fault model {self.model!r}; choose from {FAULT_MODELS}")
+        if self.recovery not in RECOVERY_MODES:
+            raise ValueError(
+                f"unknown recovery mode {self.recovery!r}; choose from {RECOVERY_MODES}"
+            )
+        if self.mtbf <= 0 or self.mttr <= 0:
+            raise ValueError("MTBF and MTTR must be positive")
+        if self.weibull_shape <= 0:
+            raise ValueError("Weibull shape must be positive")
+        if self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        if self.checkpoint_overhead < 0:
+            raise ValueError("checkpoint overhead cannot be negative")
+        # Normalise the schedule so equal regimes hash equally regardless of
+        # whether they were built from lists (JSON) or tuples (code).
+        normalised = tuple(
+            (float(t), int(node), float(downtime)) for t, node, downtime in self.schedule
+        )
+        for t, _, downtime in normalised:
+            if t < 0 or downtime <= 0:
+                raise ValueError("scripted failures need time >= 0 and downtime > 0")
+        object.__setattr__(self, "schedule", normalised)
+
+    # -- derived ---------------------------------------------------------------
+    @property
+    def availability(self) -> float:
+        """Steady-state per-node availability, MTBF / (MTBF + MTTR)."""
+        return self.mtbf / (self.mtbf + self.mttr)
+
+    def with_values(self, **kwargs) -> "FaultConfig":
+        return replace(self, **kwargs)
+
+    # -- serialisation ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready view (tuples become lists; inverse of :meth:`from_dict`)."""
+        doc = {f.name: getattr(self, f.name) for f in fields(self)}
+        doc["schedule"] = [list(entry) for entry in self.schedule]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown FaultConfig fields: {sorted(unknown)}")
+        kwargs = dict(doc)
+        if "schedule" in kwargs:
+            kwargs["schedule"] = tuple(tuple(entry) for entry in kwargs["schedule"])
+        return cls(**kwargs)
+
+
+#: the shared fault-free default embedded in every ExperimentConfig.
+NO_FAULTS = FaultConfig()

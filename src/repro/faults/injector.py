@@ -1,0 +1,187 @@
+"""The fault injector: node-down/node-up events on the simulator.
+
+One :class:`FaultInjector` binds to one
+:class:`~repro.service.provider.CommercialComputingService` run.  It owns
+the failure/repair process of every node, schedules the resulting
+node-down and node-up events (at :data:`~repro.sim.events.Priority.INTERNAL`,
+so completions at the same instant still win and arrivals still lose),
+tells the cluster to fail/repair the node, and hands the jobs killed by a
+failure to the policy's recovery path.
+
+Lifecycle per node under a stochastic model::
+
+    healthy ──(time_to_failure)──► down ──(time_to_repair)──► healthy …
+
+The chain re-arms itself only while the workload has unresolved jobs, so a
+finished simulation drains instead of failing forever; a scripted model
+replays its explicit schedule verbatim.
+
+Determinism: node *i* draws from the dedicated ``faults.node<i>`` substream
+of :class:`~repro.sim.rng.RngStreams` seeded with the experiment seed, so
+the failure history is a pure function of ``(seed, FaultConfig)`` — which
+is exactly what makes faulty runs content-addressable in the run store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.config import FaultConfig
+from repro.faults.models import ScriptedFailures, make_failure_process
+from repro.perf.registry import PERF
+from repro.sim.events import Priority
+from repro.sim.rng import RngStreams
+from repro.workload.job import Job
+
+
+@dataclass(frozen=True)
+class FaultKill:
+    """One job terminated by a node failure.
+
+    ``progress`` is the reference-node seconds of work the job had
+    completed when the node died — what the checkpoint recovery discipline
+    rounds down to the last checkpoint.
+    """
+
+    job: Job
+    progress: float
+    node_id: int
+
+
+@dataclass
+class FaultStats:
+    """Counters the injector accumulates over one run."""
+
+    failures: int = 0
+    repairs: int = 0
+    jobs_killed: int = 0
+    downtime_s: float = 0.0
+    per_node_failures: dict[int, int] = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Schedules failures/repairs for one service run.
+
+    Parameters
+    ----------
+    service:
+        The bound :class:`CommercialComputingService`; the injector uses its
+        simulator, cluster, and policy, and asks it whether any jobs remain
+        unresolved before re-arming a failure chain.
+    config:
+        The failure regime (must have ``enabled=True``).
+    seed:
+        Root seed for the dedicated rng streams — the experiment seed, so
+        one seed reproduces workload *and* failure history together.
+    """
+
+    def __init__(self, service, config: FaultConfig, seed: int = 0) -> None:
+        if not config.enabled:
+            raise ValueError("FaultInjector requires an enabled FaultConfig")
+        self.service = service
+        self.sim = service.sim
+        self.cluster = service.cluster
+        self.policy = service.policy
+        self.config = config
+        self.stats = FaultStats()
+        self._streams = RngStreams(seed=seed)
+        self._process = make_failure_process(config)
+        self._down: set[int] = set()
+        self._stopped = False
+
+    # -- wiring ----------------------------------------------------------------
+    def start(self) -> None:
+        """Attach to cluster and policy, then arm the first failures."""
+        enable = getattr(self.cluster, "enable_node_tracking", None)
+        if enable is not None:
+            enable()
+        self.policy.fault_config = self.config
+        if isinstance(self._process, ScriptedFailures):
+            for fail_time, node_id, downtime in self._process.schedule:
+                self._check_node(node_id)
+                self.sim.schedule_at(
+                    fail_time, self._scripted_fail, node_id, downtime,
+                    priority=Priority.INTERNAL,
+                )
+        else:
+            for node_id in range(self.cluster.total_procs):
+                self._arm(node_id)
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self.cluster.total_procs:
+            raise ValueError(
+                f"scripted failure targets node {node_id}, "
+                f"cluster has {self.cluster.total_procs}"
+            )
+
+    def _rng(self, node_id: int):
+        return self._streams.get(f"faults.node{node_id}")
+
+    def _arm(self, node_id: int) -> None:
+        """Schedule the next stochastic failure of a healthy node."""
+        delay = self._process.time_to_failure(self._rng(node_id))
+        self.sim.schedule(delay, self._fail, node_id, priority=Priority.INTERNAL)
+
+    # -- event handlers --------------------------------------------------------
+    def _workload_done(self) -> bool:
+        """True once no SLA can still change — failures stop mattering."""
+        return self.service.unresolved_count() == 0
+
+    def _fail(self, node_id: int) -> None:
+        if self._stopped or self._workload_done():
+            # Nothing left to perturb: let the chain die so the event list
+            # drains.  Pending repairs still run (they are finite).
+            self._stopped = True
+            return
+        self._execute_failure(node_id, self._process.time_to_repair(self._rng(node_id)))
+
+    def _scripted_fail(self, node_id: int, downtime: float) -> None:
+        if node_id in self._down:
+            raise ValueError(
+                f"scripted schedule fails node {node_id} while it is already down"
+            )
+        self._execute_failure(node_id, downtime)
+
+    def _execute_failure(self, node_id: int, downtime: float) -> None:
+        self._down.add(node_id)
+        killed = self.cluster.fail_node(node_id)
+        kills = [
+            FaultKill(job=job, progress=progress, node_id=node_id)
+            for job, progress in killed
+        ]
+        self.stats.failures += 1
+        self.stats.jobs_killed += len(kills)
+        self.stats.downtime_s += downtime
+        self.stats.per_node_failures[node_id] = (
+            self.stats.per_node_failures.get(node_id, 0) + 1
+        )
+        if PERF.enabled:
+            PERF.incr("faults.injected")
+            PERF.incr("faults.jobs_killed", len(kills))
+            PERF.observe("faults.downtime_s", downtime)
+        self.policy.on_node_failure(node_id, kills)
+        self.sim.schedule(downtime, self._repair, node_id, priority=Priority.INTERNAL)
+
+    def _repair(self, node_id: int) -> None:
+        self._down.discard(node_id)
+        self.cluster.repair_node(node_id)
+        self.stats.repairs += 1
+        if PERF.enabled:
+            PERF.incr("faults.repaired")
+        self.policy.on_node_repair(node_id)
+        if not isinstance(self._process, ScriptedFailures) and not self._stopped:
+            if self._workload_done():
+                self._stopped = True
+            else:
+                self._arm(node_id)
+
+    # -- introspection ---------------------------------------------------------
+    def down_nodes(self) -> frozenset[int]:
+        return frozenset(self._down)
+
+    def observed_availability(self, horizon: float) -> float:
+        """Fraction of node-time the cluster was up over ``horizon`` seconds."""
+        if horizon <= 0:
+            return 1.0
+        capacity = self.cluster.total_procs * horizon
+        return max(0.0, 1.0 - self.stats.downtime_s / capacity)

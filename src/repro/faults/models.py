@@ -1,0 +1,102 @@
+"""Failure/repair processes.
+
+A :class:`FailureProcess` answers two questions per node: how long until
+the next failure, and how long a repair takes.  Draws come from the
+per-node ``faults.node<i>`` substreams the injector owns, so the failure
+history of node *k* is invariant under changes to the cluster size or to
+any other rng consumer — the reproducibility idiom of
+:mod:`repro.sim.rng` applied to dependability.
+
+The scripted process replays an explicit ``(time, node, downtime)``
+schedule instead; it is the deterministic backbone of the regression tests
+and the CI fault smoke job.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.faults.config import FaultConfig
+
+
+class FailureProcess(abc.ABC):
+    """Stochastic description of one node's failure/repair behaviour."""
+
+    @abc.abstractmethod
+    def time_to_failure(self, rng: np.random.Generator) -> float:
+        """Seconds from now (node healthy) until its next failure."""
+
+    @abc.abstractmethod
+    def time_to_repair(self, rng: np.random.Generator) -> float:
+        """Seconds a repair takes once the node is down."""
+
+
+class ExponentialFailures(FailureProcess):
+    """Memoryless MTBF/MTTR — the classic dependability baseline."""
+
+    def __init__(self, mtbf: float, mttr: float) -> None:
+        if mtbf <= 0 or mttr <= 0:
+            raise ValueError("MTBF and MTTR must be positive")
+        self.mtbf = float(mtbf)
+        self.mttr = float(mttr)
+
+    def time_to_failure(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mtbf))
+
+    def time_to_repair(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mttr))
+
+
+class WeibullFailures(FailureProcess):
+    """Weibull time-to-failure (shape > 1: wear-out; < 1: infant mortality).
+
+    The scale is derived from the configured MTBF so the *mean* time between
+    failures matches the exponential model with the same parameter:
+    ``scale = mtbf / Γ(1 + 1/shape)``.  Repairs stay exponential — repair
+    duration is dominated by human/operational response, for which the
+    memoryless assumption is standard.
+    """
+
+    def __init__(self, mtbf: float, mttr: float, shape: float = 1.5) -> None:
+        if mtbf <= 0 or mttr <= 0:
+            raise ValueError("MTBF and MTTR must be positive")
+        if shape <= 0:
+            raise ValueError("Weibull shape must be positive")
+        self.mtbf = float(mtbf)
+        self.mttr = float(mttr)
+        self.shape = float(shape)
+        self.scale = self.mtbf / math.gamma(1.0 + 1.0 / self.shape)
+
+    def time_to_failure(self, rng: np.random.Generator) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+    def time_to_repair(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mttr))
+
+
+class ScriptedFailures:
+    """A deterministic failure schedule (not a :class:`FailureProcess`).
+
+    Holds the validated ``(time, node, downtime)`` triples in firing order;
+    the injector schedules them directly instead of sampling.
+    """
+
+    def __init__(self, schedule: tuple[tuple[float, int, float], ...]) -> None:
+        self.schedule = tuple(sorted(schedule))
+
+    def __len__(self) -> int:
+        return len(self.schedule)
+
+
+def make_failure_process(config: FaultConfig):
+    """Build the process (or scripted schedule) a config describes."""
+    if config.model == "exponential":
+        return ExponentialFailures(config.mtbf, config.mttr)
+    if config.model == "weibull":
+        return WeibullFailures(config.mtbf, config.mttr, config.weibull_shape)
+    if config.model == "scripted":
+        return ScriptedFailures(config.schedule)
+    raise ValueError(f"unknown fault model {config.model!r}")  # pragma: no cover

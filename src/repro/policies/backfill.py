@@ -22,11 +22,13 @@ prediction ``now + estimate > deadline`` can never become feasible again.
 from __future__ import annotations
 
 import abc
+import math
 from typing import Optional
 
 from repro.cluster.profile import can_backfill, easy_backfill_window
 from repro.cluster.spaceshared import SpaceSharedCluster
 from repro.policies.base import Policy
+from repro.service.sla import SLAStatus
 from repro.sim.engine import Simulator
 from repro.workload.job import Job
 
@@ -112,10 +114,45 @@ class BackfillPolicy(Policy, abc.ABC):
 
     def _start(self, job: Job) -> None:
         _, cost = self._budget_ok(job)
-        self.service.notify_accepted(job, quoted_cost=cost)
+        if self.fault_config is not None and self._is_interrupted(job):
+            # Restart after a node failure: the SLA was accepted before the
+            # failure, so only the (re)start transition fires.
+            pass
+        else:
+            self.service.notify_accepted(job, quoted_cost=cost)
         self.service.notify_started(job)
         max_runtime = job.estimate if self.kill_at_estimate else None
         self.cluster.start(job, self._on_finish, max_runtime=max_runtime)
+
+    # -- fault recovery -------------------------------------------------------
+    def _is_interrupted(self, job: Job) -> bool:
+        return self.service.record_of(job).status is SLAStatus.ACCEPTED
+
+    def _drop(self, job: Job, reason: str) -> None:
+        """Remove an infeasible queued job.
+
+        A fresh job is rejected (SLA never committed); a job re-queued
+        after a node failure was already accepted, so its SLA is terminally
+        *failed* instead — this is how failure-induced deadline misses turn
+        into penalties.
+        """
+        if self.fault_config is not None and self._is_interrupted(job):
+            self.service.notify_failed(job, self.sim.now)
+            return
+        self._reject(job, reason)
+
+    def _recover_failed_job(self, job: Job) -> None:
+        """Re-queue an interrupted job; the dispatcher re-examines it under
+        the same generous admission control as any queued job."""
+        self._queue.append(job)
+
+    def _after_failure(self, node_id: int) -> None:
+        # The failure may have freed survivor nodes of a killed parallel
+        # job, and the re-queued work must be (re)examined.
+        self._dispatch()
+
+    def on_node_repair(self, node_id: int) -> None:
+        self._dispatch()
 
     # -- the dispatcher ---------------------------------------------------------
     def _dispatch(self) -> None:
@@ -130,7 +167,7 @@ class BackfillPolicy(Policy, abc.ABC):
                 reason = self._rejection_reason(head)
                 if reason is not None:
                     self._queue.pop(0)
-                    self._reject(head, reason)
+                    self._drop(head, reason)
                     advanced = True
                     continue
                 if self.cluster.can_fit(head.procs):
@@ -146,18 +183,28 @@ class BackfillPolicy(Policy, abc.ABC):
 
             # Phase 2: backfill around the (blocked) head job.
             head = self._queue[0]
-            shadow, spare = easy_backfill_window(
-                self.sim.now,
-                self.cluster.free_procs,
-                self.cluster.releases(),
-                head.procs,
-                self.cluster.total_procs,
-            )
+            up_capacity = self.cluster.total_procs
+            if self.fault_config is not None:
+                up_capacity -= len(self.cluster.down_nodes())
+            if head.procs > up_capacity:
+                # Failed nodes leave too little machine for the head until a
+                # repair; EASY's reservation is undefined, so let anything
+                # that fits the surviving capacity run meanwhile (the head
+                # cannot be delayed — it cannot start at all).
+                shadow, spare = math.inf, self.cluster.free_procs
+            else:
+                shadow, spare = easy_backfill_window(
+                    self.sim.now,
+                    self.cluster.free_procs,
+                    self.cluster.releases(),
+                    head.procs,
+                    self.cluster.total_procs,
+                )
             for job in list(self._queue[1:]):
                 reason = self._rejection_reason(job)
                 if reason is not None:
                     self._queue.remove(job)
-                    self._reject(job, reason)
+                    self._drop(job, reason)
                     advanced = True
                     break  # re-sort and recompute the window
                 if can_backfill(

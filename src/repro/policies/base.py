@@ -9,12 +9,17 @@ quotes.  It reports every lifecycle transition back to the service.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+import math
+from typing import TYPE_CHECKING, Optional
 
 from repro.economy.pricing import PricingParams, flat_cost
 from repro.perf.registry import PERF
 from repro.sim.engine import Simulator
 from repro.workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.config import FaultConfig
+    from repro.faults.injector import FaultKill
 
 
 class PolicyError(RuntimeError):
@@ -32,6 +37,10 @@ class Policy(abc.ABC):
         self.service = None
         self.sim: Optional[Simulator] = None
         self.cluster = None
+        #: set by :meth:`repro.faults.injector.FaultInjector.start`; ``None``
+        #: on fault-free runs, which keeps every fault guard a single
+        #: attribute test on the hot path.
+        self.fault_config: Optional["FaultConfig"] = None
 
     # -- wiring -------------------------------------------------------------
     @abc.abstractmethod
@@ -76,3 +85,61 @@ class Policy(abc.ABC):
             PERF.incr("policy.quotes")
         cost = self.expected_cost(job)
         return self.service.economically_admissible(job, cost), cost
+
+    # -- fault recovery ---------------------------------------------------------
+    def on_node_failure(self, node_id: int, kills: list["FaultKill"]) -> None:
+        """A node failed; ``kills`` lists the jobs it terminated.
+
+        The default discipline: every killed job's SLA is *interrupted*
+        (the commitment survives), the configured recovery mode is applied
+        to the job's remaining work, and :meth:`_recover_failed_job` re-runs
+        it.  Policies that cannot re-run a job override
+        :meth:`_recover_failed_job` (the base version terminally fails the
+        SLA, charging the economic model's penalty).
+        """
+        for kill in kills:
+            self.service.notify_interrupted(kill.job)
+            self._apply_recovery(kill)
+            self._recover_failed_job(kill.job)
+        self._after_failure(node_id)
+
+    def _apply_recovery(self, kill: "FaultKill") -> None:
+        """Rewrite the job's remaining work per the recovery mode.
+
+        ``resubmit`` loses all progress: the job re-runs from scratch, so
+        nothing changes.  ``checkpoint`` resumes from the last periodic
+        checkpoint: work up to ``floor(progress / interval) * interval`` is
+        saved; the remaining runtime is the unsaved work plus the restore
+        overhead, and the estimate shrinks by the saved work (floored so
+        the scheduler still sees a live request).
+        """
+        cfg = self.fault_config
+        if cfg is None or cfg.recovery != "checkpoint":
+            if PERF.enabled:
+                PERF.incr("faults.resubmits")
+            return
+        saved = math.floor(kill.progress / cfg.checkpoint_interval)
+        saved *= cfg.checkpoint_interval
+        if saved <= 0.0:
+            # Died before the first checkpoint: identical to a resubmit.
+            if PERF.enabled:
+                PERF.incr("faults.resubmits")
+            return
+        job = kill.job
+        job.runtime = max(job.runtime - saved, 0.0) + cfg.checkpoint_overhead
+        job.estimate = max(job.estimate - saved, 1.0)
+        if PERF.enabled:
+            PERF.incr("faults.checkpoint_restores")
+            PERF.observe("faults.work_saved_s", saved)
+
+    def _recover_failed_job(self, job: Job) -> None:
+        """Re-run one interrupted job; base policies cannot, so the SLA is
+        terminally failed and the deadline-miss penalty is charged."""
+        self.service.notify_failed(job, self.sim.now)
+
+    def _after_failure(self, node_id: int) -> None:
+        """Hook after all kills of one failure are recovered (e.g. repair
+        the backfill plan)."""
+
+    def on_node_repair(self, node_id: int) -> None:
+        """A failed node came back; capacity grew, so try to dispatch."""

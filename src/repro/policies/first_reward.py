@@ -116,6 +116,20 @@ class FirstReward(Policy):
             self.service.notify_started(head)
             self.cluster.start(head, self._on_finish)
 
+    # -- fault recovery -----------------------------------------------------------
+    def _recover_failed_job(self, job: Job) -> None:
+        """Re-queue an interrupted job; it competes on reward like any other
+        accepted job.  FirstReward never rejects on deadlines — a late
+        re-run simply accrues the bid-based penalty, which is the risk
+        channel this policy prices explicitly."""
+        self._queue.append(job)
+
+    def _after_failure(self, node_id: int) -> None:
+        self._dispatch()
+
+    def on_node_repair(self, node_id: int) -> None:
+        self._dispatch()
+
     # -- introspection -------------------------------------------------------------
     @property
     def queue_length(self) -> int:

@@ -68,3 +68,29 @@ class Libra(Policy):
 
     def _on_finish(self, job: Job, finish_time: float) -> None:
         self.service.notify_finished(job, finish_time)
+
+    # -- fault recovery ----------------------------------------------------------
+    def _recover_failed_job(self, job: Job) -> None:
+        """Re-admit an interrupted job immediately (Libra keeps no queue).
+
+        The required share is re-derived from the *remaining* estimate over
+        the time left to the deadline — after a checkpoint restore the
+        estimate already excludes the saved work.  If no feasible placement
+        exists (or the deadline is no longer reachable) the SLA is
+        terminally failed and the penalty charged.
+        """
+        now = self.sim.now
+        window = job.absolute_deadline - now
+        if window <= 0.0:
+            self.service.notify_failed(job, now)
+            return
+        share = job.estimate / window
+        if share > 1.0:
+            self.service.notify_failed(job, now)
+            return
+        nodes = self.select_nodes(job, share)
+        if nodes is None:
+            self.service.notify_failed(job, now)
+            return
+        self.service.notify_started(job)
+        self.cluster.admit(job, share, nodes, self._on_finish)

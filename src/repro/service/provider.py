@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 from repro.core.objectives import JobOutcome, ObjectiveSet, compute_objectives
 from repro.economy.models import EconomicModel
+from repro.faults.config import FaultConfig
 from repro.service.accounting import AccountingLedger
 from repro.service.sla import SLARecord, SLAStatus
 from repro.sim.engine import Simulator
@@ -35,6 +36,8 @@ class ServiceResult:
     records: list[SLARecord] = field(repr=False, default_factory=list)
     ledger: AccountingLedger = field(repr=False, default_factory=AccountingLedger)
     sim_time: float = 0.0
+    #: fault-injection summary, or ``None`` when the run had no faults.
+    fault_stats: Optional[dict] = None
 
     def objectives(self) -> ObjectiveSet:
         """The four objectives (Eqs. 1–4) of this run."""
@@ -53,6 +56,12 @@ class CommercialComputingService:
         The market the provider operates in.
     total_procs:
         Machine size (the paper's SDSC SP2: 128).
+    fault_config:
+        Optional :class:`repro.faults.config.FaultConfig`; when enabled the
+        service builds a :class:`repro.faults.injector.FaultInjector` and
+        node failures perturb the run.
+    fault_seed:
+        Root seed of the injector's rng streams (the experiment seed).
     """
 
     def __init__(
@@ -61,18 +70,29 @@ class CommercialComputingService:
         economic_model: EconomicModel,
         total_procs: int = 128,
         sim: Optional[Simulator] = None,
+        fault_config: Optional[FaultConfig] = None,
+        fault_seed: int = 0,
     ) -> None:
         self.sim = sim if sim is not None else Simulator()
         self.policy = policy
         self.model = economic_model
         self.ledger = AccountingLedger()
         self._records: dict[int, SLARecord] = {}
+        self._unresolved = 0
         #: callbacks invoked as ``observer(event, record)`` on every SLA
         #: transition (event ∈ {"rejected", "accepted", "started",
         #: "finished"}); used by the multi-provider market simulation.
         self.observers: list = []
         self.cluster = policy.make_cluster(self.sim, total_procs)
         policy.bind(service=self, sim=self.sim, cluster=self.cluster)
+        self.injector = None
+        if fault_config is not None and fault_config.enabled:
+            # Imported lazily at module top would be fine too, but keeping
+            # the injector optional makes the no-fault path obviously inert.
+            from repro.faults.injector import FaultInjector
+
+            self.injector = FaultInjector(self, fault_config, seed=fault_seed)
+            self.injector.start()
 
     def _notify_observers(self, event: str, record: SLARecord) -> None:
         for observer in self.observers:
@@ -101,7 +121,16 @@ class CommercialComputingService:
             raise ValueError(f"duplicate job id {job.job_id}")
         record = SLARecord(job=job)
         self._records[job.job_id] = record
+        self._unresolved += 1
         return record
+
+    def unresolved_count(self) -> int:
+        """Registered SLAs not yet in a terminal state (REJECTED/FINISHED).
+
+        The fault injector stops re-arming failure chains once this hits
+        zero, so the event list drains when the workload is resolved.
+        """
+        return self._unresolved
 
     def submit_now(self, job: Job) -> None:
         """Register and submit a job at the current simulation time."""
@@ -111,6 +140,22 @@ class CommercialComputingService:
     def collect(self) -> ServiceResult:
         """Snapshot the outcomes recorded so far."""
         outcomes = [r.outcome() for r in self._records.values()]
+        fault_stats = None
+        if self.injector is not None:
+            stats = self.injector.stats
+            fault_stats = {
+                "failures": stats.failures,
+                "repairs": stats.repairs,
+                "jobs_killed": stats.jobs_killed,
+                "downtime_s": stats.downtime_s,
+                "observed_availability": self.injector.observed_availability(
+                    self.sim.now
+                ),
+                "interrupted_jobs": sum(
+                    1 for r in self._records.values() if r.interruptions > 0
+                ),
+                "failed_slas": sum(1 for r in self._records.values() if r.failed),
+            }
         return ServiceResult(
             policy=self.policy.name,
             economic_model=self.model.name,
@@ -118,6 +163,7 @@ class CommercialComputingService:
             records=list(self._records.values()),
             ledger=self.ledger,
             sim_time=self.sim.now,
+            fault_stats=fault_stats,
         )
 
     def _check_drained(self) -> None:
@@ -140,6 +186,7 @@ class CommercialComputingService:
         """The policy declined the SLA (admission control or budget)."""
         record = self.record_of(job)
         record.reject(reason)
+        self._unresolved -= 1
         self._notify_observers("rejected", record)
 
     def notify_accepted(self, job: Job, quoted_cost: float = 0.0) -> None:
@@ -160,6 +207,7 @@ class CommercialComputingService:
         broken and nothing is charged."""
         record = self.record_of(job)
         record.kill(finish_time)
+        self._unresolved -= 1
         self.ledger.record(
             job.job_id, finish_time, 0.0, description="killed at estimate limit"
         )
@@ -170,9 +218,37 @@ class CommercialComputingService:
         record = self.record_of(job)
         utility = self.model.utility(job, finish_time, record.quoted_cost)
         record.finish(finish_time, utility)
+        self._unresolved -= 1
         self.ledger.record(
             job.job_id, finish_time, utility,
             description=f"{self.model.name} settlement",
+        )
+        self._notify_observers("finished", record)
+
+    def notify_interrupted(self, job: Job) -> None:
+        """A node failure killed the execution; the policy will re-run the
+        job, so the SLA returns to ACCEPTED (still unresolved)."""
+        record = self.record_of(job)
+        record.interrupt()
+        self._notify_observers("interrupted", record)
+
+    def notify_failed(self, job: Job, finish_time: float) -> None:
+        """A node failure killed the execution and the job cannot be
+        re-run: the SLA is terminally broken.
+
+        The provider earns no revenue for the unfinished work, but the
+        economic model's *penalty* component (e.g. the bid-based model's
+        penalty rate past the deadline) is still charged — this is exactly
+        the channel through which failures raise the provider's risk
+        metrics.
+        """
+        record = self.record_of(job)
+        utility = min(0.0, self.model.utility(job, finish_time, record.quoted_cost))
+        record.fail(finish_time, utility)
+        self._unresolved -= 1
+        self.ledger.record(
+            job.job_id, finish_time, utility,
+            description="SLA failed after node failure",
         )
         self._notify_observers("finished", record)
 

@@ -5,10 +5,19 @@ A job submitted to the commercial computing service moves through::
     SUBMITTED ──► REJECTED                      (admission control / budget)
         │
         └──────► ACCEPTED ──► RUNNING ──► FINISHED
+                     ▲            │
+                     └─interrupt──┘          (node failure, job recoverable)
 
 Acceptance is the SLA commitment instant; the paper's *wait* objective
 measures submission → execution start, and *reliability* measures how many
 ACCEPTED SLAs finish within their deadline.
+
+Fault injection adds two transitions: :meth:`SLARecord.interrupt` moves a
+RUNNING job back to ACCEPTED when a node failure kills it but the policy
+will re-run it (the SLA commitment survives the failure, so the *first*
+start time is kept for the wait objective), and :meth:`SLARecord.fail`
+terminally abandons the SLA when the provider cannot re-run the job —
+the deadline is missed and any penalty owed is charged.
 """
 
 from __future__ import annotations
@@ -44,6 +53,10 @@ class SLARecord:
     #: True when the system terminated the job at its runtime-estimate
     #: limit instead of letting it complete (kill-at-estimate discipline).
     killed: bool = False
+    #: True when the SLA was terminally abandoned after a node failure.
+    failed: bool = False
+    #: times a node failure interrupted the job's execution.
+    interruptions: int = 0
 
     # -- transitions ---------------------------------------------------------
     def reject(self, reason: str) -> None:
@@ -60,7 +73,10 @@ class SLARecord:
     def start(self, time: float) -> None:
         self._require(SLAStatus.ACCEPTED, "start")
         self.status = SLAStatus.RUNNING
-        self.start_time = time
+        # A restart after an interruption keeps the original start time:
+        # the wait objective measures submission → *first* execution start.
+        if self.start_time is None:
+            self.start_time = time
 
     def finish(self, time: float, utility: float) -> None:
         self._require(SLAStatus.RUNNING, "finish")
@@ -76,6 +92,32 @@ class SLARecord:
         self.finish_time = time
         self.utility = 0.0
         self.killed = True
+
+    def interrupt(self) -> None:
+        """A node failure killed the execution but the job will be re-run:
+        the SLA commitment stands, so the record returns to ACCEPTED."""
+        self._require(SLAStatus.RUNNING, "interrupt")
+        self.status = SLAStatus.ACCEPTED
+        self.interruptions += 1
+
+    def fail(self, time: float, utility: float) -> None:
+        """Terminally abandon the SLA after a node failure.
+
+        The provider keeps whatever penalty the economic model dictates
+        (``utility`` ≤ 0: no revenue for unfinished work, but penalties for
+        the broken commitment are charged).  Allowed from RUNNING (failure
+        with no recovery path) and from an interrupted ACCEPTED state (the
+        re-queued job became infeasible before it could restart).
+        """
+        if not (
+            self.status is SLAStatus.RUNNING
+            or (self.status is SLAStatus.ACCEPTED and self.interruptions > 0)
+        ):
+            self._require(SLAStatus.RUNNING, "fail")
+        self.status = SLAStatus.FINISHED
+        self.finish_time = time
+        self.utility = utility
+        self.failed = True
 
     def _require(self, expected: SLAStatus, action: str) -> None:
         if self.status is not expected:
@@ -93,6 +135,7 @@ class SLARecord:
         return (
             self.status is SLAStatus.FINISHED
             and not self.killed
+            and not self.failed
             and self.finish_time is not None
             and self.finish_time <= self.job.absolute_deadline + 1e-6
         )

@@ -86,9 +86,16 @@ class Simulator:
             self._perf.observe("sim.heap_depth", len(self._heap))
         return handle
 
-    def cancel(self, handle: EventHandle) -> None:
-        """Cancel a pending event (no-op if it already ran)."""
-        handle.cancel()
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a pending event.
+
+        Returns ``True`` when the event was live and is now cancelled.
+        Cancelling a handle that already fired, or one cancelled before, is
+        a safe no-op returning ``False`` — heavy cancellers (the fault
+        injector, cluster reschedules) can never corrupt the heap or the
+        cancelled-event accounting by cancelling twice or too late.
+        """
+        return handle.cancel()
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the list is empty."""
@@ -116,6 +123,7 @@ class Simulator:
         if handle.time < self._now:  # pragma: no cover - defensive
             raise SimulationError("event list corrupted: time went backwards")
         self._now = handle.time
+        handle.fired = True
         self.events_executed += 1
         perf = self._perf
         if perf.enabled:

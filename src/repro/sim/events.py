@@ -39,13 +39,24 @@ class EventHandle:
     fn: Callable[..., Any]
     args: tuple = ()
     cancelled: bool = field(default=False, compare=False)
+    #: set by the simulator the moment the event is dispatched; cancelling a
+    #: fired handle is a no-op (it is no longer in the heap, so flagging it
+    #: would only corrupt the cancelled-event accounting).
+    fired: bool = field(default=False, compare=False)
 
-    def cancel(self) -> None:
-        """Mark the event so the simulator skips it."""
-        if not self.cancelled:
-            self.cancelled = True
-            if PERF.enabled:
-                PERF.incr("sim.events_cancelled")
+    def cancel(self) -> bool:
+        """Mark the event so the simulator skips it.
+
+        Returns ``True`` if this call actually cancelled a pending event;
+        cancelling an already-fired or already-cancelled handle is a no-op
+        (and never double-counts in the perf registry).
+        """
+        if self.fired or self.cancelled:
+            return False
+        self.cancelled = True
+        if PERF.enabled:
+            PERF.incr("sim.events_cancelled")
+        return True
 
     def sort_key(self) -> tuple[float, int, int]:
         return (self.time, self.priority, self.seq)
@@ -54,7 +65,7 @@ class EventHandle:
         return self.sort_key() < other.sort_key()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = "fired" if self.fired else "cancelled" if self.cancelled else "pending"
         return (
             f"EventHandle(t={self.time:.6g}, prio={self.priority}, "
             f"seq={self.seq}, {getattr(self.fn, '__name__', self.fn)}, {state})"

@@ -1,0 +1,360 @@
+"""Tests for the fault-injection subsystem (repro.faults).
+
+Covers the config/model layer, the injector on both cluster disciplines,
+recovery semantics (resubmit vs checkpoint), SLA/accounting integration,
+and the end-to-end determinism guarantees the run store relies on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.economy.models import make_model
+from repro.faults.config import NO_FAULTS, FaultConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    ExponentialFailures,
+    ScriptedFailures,
+    WeibullFailures,
+    make_failure_process,
+)
+from repro.policies import make_policy
+from repro.service.provider import CommercialComputingService
+from repro.service.sla import SLAStatus
+from repro.sim.engine import Simulator
+from repro.workload.job import Job
+
+
+def _job(job_id=1, submit=0.0, runtime=100.0, procs=1, deadline=10_000.0,
+         budget=1e9, penalty_rate=1.0, estimate=None):
+    return Job(
+        job_id=job_id,
+        submit_time=submit,
+        runtime=runtime,
+        procs=procs,
+        estimate=runtime if estimate is None else estimate,
+        deadline=deadline,
+        budget=budget,
+        penalty_rate=penalty_rate,
+    )
+
+
+def _service(policy="FCFS-BF", model="bid", procs=4, faults=None, seed=0):
+    return CommercialComputingService(
+        make_policy(policy),
+        make_model(model),
+        total_procs=procs,
+        fault_config=faults,
+        fault_seed=seed,
+    )
+
+
+def scripted(schedule, **kwargs):
+    return FaultConfig(
+        enabled=True, model="scripted", schedule=tuple(schedule), **kwargs
+    )
+
+
+# -- FaultConfig ---------------------------------------------------------------
+
+
+def test_config_defaults_are_disabled_and_valid():
+    assert not NO_FAULTS.enabled
+    assert NO_FAULTS.recovery == "resubmit"
+    assert 0.9 < NO_FAULTS.availability < 1.0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FaultConfig(mtbf=-1.0)
+    with pytest.raises(ValueError):
+        FaultConfig(recovery="teleport")
+    with pytest.raises(ValueError):
+        FaultConfig(model="martian")
+    with pytest.raises(ValueError):
+        FaultConfig(checkpoint_interval=0.0)
+    with pytest.raises(ValueError):
+        FaultConfig(schedule=((1.0, 0),))  # malformed triple
+
+
+def test_config_roundtrip_and_with_values():
+    config = scripted([(5.0, 1, 30.0)], mttr=120.0)
+    assert FaultConfig.from_dict(config.to_dict()) == config
+    assert config.with_values(mtbf=7.0).mtbf == 7.0
+    with pytest.raises(ValueError):
+        FaultConfig.from_dict({"bogus": 1})
+
+
+# -- failure processes ---------------------------------------------------------
+
+
+def test_exponential_means_match_parameters():
+    rng = np.random.default_rng(7)
+    process = ExponentialFailures(mtbf=1000.0, mttr=50.0)
+    ttf = [process.time_to_failure(rng) for _ in range(4000)]
+    ttr = [process.time_to_repair(rng) for _ in range(4000)]
+    assert np.mean(ttf) == pytest.approx(1000.0, rel=0.1)
+    assert np.mean(ttr) == pytest.approx(50.0, rel=0.1)
+
+
+def test_weibull_scale_preserves_mtbf():
+    rng = np.random.default_rng(7)
+    process = WeibullFailures(mtbf=1000.0, mttr=50.0, shape=2.0)
+    assert process.scale == pytest.approx(1000.0 / math.gamma(1.5))
+    ttf = [process.time_to_failure(rng) for _ in range(4000)]
+    assert np.mean(ttf) == pytest.approx(1000.0, rel=0.1)
+
+
+def test_make_failure_process_dispatch():
+    assert isinstance(
+        make_failure_process(FaultConfig(model="exponential")), ExponentialFailures
+    )
+    assert isinstance(
+        make_failure_process(FaultConfig(model="weibull")), WeibullFailures
+    )
+    assert isinstance(
+        make_failure_process(scripted([(1.0, 0, 2.0)])), ScriptedFailures
+    )
+
+
+def test_injector_requires_enabled_config():
+    with pytest.raises(ValueError):
+        FaultInjector(_service(), NO_FAULTS)
+
+
+# -- space-shared cluster failure semantics ------------------------------------
+
+
+def test_failure_of_free_node_shrinks_capacity_until_repair():
+    service = _service(procs=4, faults=scripted([(50.0, 3, 100.0)]))
+    job = _job(runtime=10.0)  # finishes long before the failure
+    service.run([job])
+    assert service.record_of(job).deadline_met
+    assert service.injector.stats.failures == 1
+    assert service.injector.stats.jobs_killed == 0
+    assert service.cluster.free_procs == 4  # repaired by drain time
+
+
+def test_failure_kills_running_job_and_frees_survivor_nodes():
+    # One 4-proc job holds all nodes; node 2 dies mid-run.
+    config = scripted([(40.0, 2, 1000.0)])
+    service = _service(procs=4, faults=config)
+    job = _job(runtime=100.0, procs=4, deadline=100_000.0)
+    service.run([job])
+    record = service.record_of(job)
+    assert record.interruptions == 1
+    assert record.status is SLAStatus.FINISHED
+    assert not record.failed  # resubmitted after repair and finished
+    # Interrupted at t=40, node back at t=1040, full rerun: 1040 + 100.
+    assert record.finish_time == pytest.approx(1140.0)
+    # Wait objective keeps the FIRST start.
+    assert record.start_time == pytest.approx(0.0)
+
+
+def test_resubmit_loses_progress_checkpoint_resumes():
+    # Both nodes held by the job; failure at t=80 of a 100s job.
+    schedule = [(80.0, 0, 10.0)]
+    base = dict(procs=2)
+    job_args = dict(runtime=100.0, procs=2, deadline=100_000.0)
+
+    resub = _service(**base, faults=scripted(schedule, recovery="resubmit"))
+    job = _job(**job_args)
+    resub.run([job])
+    # t=80 kill, node back at 90, rerun of the full 100s → 190.
+    assert resub.record_of(job).finish_time == pytest.approx(190.0)
+
+    ckpt = _service(
+        **base,
+        faults=scripted(
+            schedule,
+            recovery="checkpoint",
+            checkpoint_interval=30.0,
+            checkpoint_overhead=5.0,
+        ),
+    )
+    job = _job(**job_args)
+    ckpt.run([job])
+    # 80s of progress → last checkpoint at 60; remaining 40 + 5 overhead,
+    # restarted at t=90 → 135.
+    assert ckpt.record_of(job).finish_time == pytest.approx(135.0)
+
+
+def test_failure_before_first_checkpoint_equals_resubmit():
+    schedule = [(10.0, 0, 5.0)]
+    service = _service(
+        procs=1,
+        faults=scripted(schedule, recovery="checkpoint", checkpoint_interval=60.0),
+    )
+    job = _job(runtime=100.0, deadline=100_000.0)
+    service.run([job])
+    # No checkpoint yet at t=10: full rerun from t=15 → 115.
+    assert service.record_of(job).finish_time == pytest.approx(115.0)
+
+
+def test_infeasible_rerun_fails_sla_and_charges_penalty():
+    # Deadline long enough to accept initially, too short to survive the
+    # outage — the re-queued job is dropped as a *failed* SLA, not rejected.
+    service = _service(procs=1, faults=scripted([(50.0, 0, 10_000.0)]))
+    job = _job(runtime=100.0, deadline=150.0, budget=1e9, penalty_rate=2.0)
+    service.run([job])
+    record = service.record_of(job)
+    assert record.failed
+    assert not record.deadline_met
+    assert record.utility <= 0.0
+    assert service.injector.stats.jobs_killed == 1
+    outcome = record.outcome()
+    assert outcome.accepted and not outcome.deadline_met
+
+
+def test_scripted_double_failure_of_down_node_raises():
+    service = _service(procs=2, faults=scripted([(10.0, 0, 100.0), (20.0, 0, 1.0)]))
+    with pytest.raises(ValueError, match="already down"):
+        service.run([_job(runtime=500.0, deadline=1e6)])
+
+
+# -- time-shared cluster failure semantics -------------------------------------
+
+
+def test_timeshared_failure_kills_sharing_jobs_and_readmits():
+    config = scripted([(30.0, 0, 20.0)], recovery="resubmit")
+    service = _service(policy="Libra", model="commodity", procs=2, faults=config)
+    # Two 1-proc jobs with generous deadlines; Libra packs best-fit, so both
+    # land on node 0 and both die at t=30.
+    jobs = [
+        _job(job_id=1, runtime=100.0, deadline=10_000.0),
+        _job(job_id=2, runtime=100.0, deadline=10_000.0),
+    ]
+    service.run(jobs)
+    records = [service.record_of(j) for j in jobs]
+    assert [r.interruptions for r in records] == [1, 1]
+    assert all(r.status is SLAStatus.FINISHED and not r.failed for r in records)
+    # Re-admitted immediately on the surviving node (Libra keeps no queue).
+    assert all(r.finish_time > 100.0 for r in records)
+
+
+def test_timeshared_failed_node_not_admissible_until_repair():
+    config = scripted([(5.0, 1, 1e6)])
+    service = _service(policy="Libra", model="commodity", procs=2, faults=config)
+    early = _job(job_id=1, submit=0.0, runtime=10.0, deadline=100.0)
+    # After t=5 only node 0 exists; a 2-proc job can never be placed.
+    wide = _job(job_id=2, submit=50.0, runtime=10.0, procs=2, deadline=1000.0)
+    service.run([early, wide])
+    assert service.record_of(early).deadline_met
+    assert service.record_of(wide).status is SLAStatus.REJECTED
+
+
+def test_timeshared_libra_failure_past_deadline_fails_sla():
+    # Downtime longer than the job's whole deadline window.
+    config = scripted([(10.0, 0, 1e6)])
+    service = _service(policy="Libra", model="commodity", procs=1, faults=config)
+    job = _job(runtime=50.0, deadline=100.0)
+    service.run([job])
+    assert service.record_of(job).failed
+
+
+# -- FirstReward recovery ------------------------------------------------------
+
+
+def test_first_reward_requeues_and_finishes_late_with_penalty():
+    config = scripted([(50.0, 0, 25.0)], recovery="resubmit")
+    service = _service(policy="FirstReward", model="bid", procs=1, faults=config)
+    job = _job(runtime=100.0, deadline=120.0, budget=1e6, penalty_rate=1.0)
+    service.run([job])
+    record = service.record_of(job)
+    assert record.interruptions == 1
+    assert record.status is SLAStatus.FINISHED
+    # Rerun finishes at 75 + 100 = 175 > deadline 120: bid-model penalty
+    # reduces the settled utility below the full bid.
+    assert record.finish_time == pytest.approx(175.0)
+    assert record.utility < 1e6
+
+
+# -- determinism & risk integration --------------------------------------------
+
+
+def test_stochastic_fault_runs_are_deterministic():
+    from repro.experiments.runner import run_single
+    from repro.experiments.scenarios import ExperimentConfig
+
+    config = ExperimentConfig(n_jobs=60, total_procs=16).with_values(
+        fault_mtbf=20_000.0, fault_mttr=500.0
+    )
+    a = run_single(config, "FCFS-BF", "bid")
+    b = run_single(config, "FCFS-BF", "bid")
+    assert a == b
+
+
+def test_recovery_modes_produce_different_reproducible_risk():
+    """Scripted schedule, resubmit vs checkpoint: different, reproducible
+    SLA penalty totals that surface in the integrated risk metrics."""
+    from repro.experiments.runner import run_single
+    from repro.experiments.scenarios import ExperimentConfig
+
+    schedule = tuple((float(t), n, 400.0) for t, n in
+                     [(3000.0, 1), (9000.0, 5), (15000.0, 2), (24000.0, 0)])
+    base = ExperimentConfig(n_jobs=80, total_procs=8).with_values(
+        fault_model="scripted",
+        fault_schedule=schedule,
+        fault_enabled=True,
+        arrival_delay_factor=0.05,
+    )
+    resub = base.with_values(fault_recovery="resubmit")
+    ckpt = base.with_values(fault_recovery="checkpoint")
+    a1 = run_single(resub, "EDF-BF", "bid")
+    a2 = run_single(resub, "EDF-BF", "bid")
+    b1 = run_single(ckpt, "EDF-BF", "bid")
+    assert a1 == a2  # reproducible
+    assert a1 != b1  # recovery discipline changes the risk outcome
+
+
+def test_fault_stats_flow_into_service_result():
+    service = _service(procs=4, faults=scripted([(40.0, 2, 1000.0)]))
+    job = _job(runtime=100.0, procs=4, deadline=100_000.0)
+    result = service.run([job])
+    stats = result.fault_stats
+    assert stats is not None
+    assert stats["failures"] == 1
+    assert stats["jobs_killed"] == 1
+    assert stats["interrupted_jobs"] == 1
+    assert 0.0 < stats["observed_availability"] < 1.0
+
+
+def test_faultfree_service_result_has_no_fault_stats():
+    service = _service(procs=4)
+    result = service.run([_job(runtime=10.0)])
+    assert result.fault_stats is None
+    assert service.injector is None
+
+
+def test_fault_sweep_produces_availability_vs_risk_table():
+    from repro.experiments.faultsweep import run_fault_sweep
+    from repro.experiments.scenarios import ExperimentConfig
+
+    base = ExperimentConfig(n_jobs=40, total_procs=16)
+    result = run_fault_sweep(
+        ["FCFS-BF", "EDF-BF"], "bid", base,
+        mtbfs=(10_000.0, 40_000.0), mttr=1_000.0,
+    )
+    assert len(result.rows) == 4  # 2 policies × 2 levels
+    availabilities = {row.availability for row in result.rows}
+    assert availabilities == {10_000.0 / 11_000.0, 40_000.0 / 41_000.0}
+    assert set(result.integrated) == {"FCFS-BF", "EDF-BF"}
+    text = result.table()
+    assert "avail" in text and "volatility" in text
+
+
+def test_perf_counters_cover_fault_activity():
+    from repro.perf import capture as perf_capture
+
+    config = scripted(
+        [(90.0, 0, 10.0)], recovery="checkpoint", checkpoint_interval=30.0
+    )
+    with perf_capture() as perf:
+        service = _service(procs=2, faults=config)
+        service.run([_job(runtime=100.0, procs=2, deadline=100_000.0)])
+        counters = dict(perf.counters)
+    assert counters.get("faults.injected") == 1
+    assert counters.get("faults.jobs_killed") == 1
+    assert counters.get("faults.checkpoint_restores") == 1
+    assert counters.get("faults.repaired") == 1

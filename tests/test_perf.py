@@ -131,9 +131,9 @@ def test_cancel_after_execution_does_not_count_as_churn():
         sim = Simulator()
         h = sim.schedule(1.0, lambda: None)
         sim.run()
-        h.cancel()  # too late: already executed, never dropped from the heap
+        h.cancel()  # too late: already executed — a no-op, so no churn at all
         assert reg.counters.get("sim.cancelled_dropped", 0) == 0
-        assert reg.counters["sim.events_cancelled"] == 1
+        assert reg.counters.get("sim.events_cancelled", 0) == 0
         assert sim.pending() == 0
 
 

@@ -147,3 +147,57 @@ def test_stats_summary(tmp_path):
     assert stats["disk_runs"] == 1
     assert stats["cache_dir"] == str(tmp_path)
     assert RunStore().stats()["cache_dir"] is None
+
+
+# -- schema migration (schema 1 → 2: the nested faults block) ------------------
+
+
+def test_schema_bump_invalidates_pre_fault_cache(tmp_path, monkeypatch):
+    """A grid cached before ``FaultConfig`` existed must be a clean miss.
+
+    Simulates a schema-1 store by monkeypatching ``SCHEMA_VERSION`` back to
+    1 while writing (the digest covers the schema, so the old entry lands
+    under a different key), then verifies current code neither hits it nor
+    crashes on it — it simply re-simulates and writes a fresh schema-2
+    document alongside.
+    """
+    import repro.experiments.runstore as rs
+
+    monkeypatch.setattr(rs, "SCHEMA_VERSION", 1)
+    old_store = RunStore(tmp_path)
+    old_store.put(CONFIG, "FCFS-BF", "bid", OBJS)
+    old_digest = RunKey(CONFIG, "FCFS-BF", "bid").digest
+    monkeypatch.undo()
+
+    store = RunStore(tmp_path)
+    new_digest = RunKey(CONFIG, "FCFS-BF", "bid").digest
+    assert new_digest != old_digest  # schema version is part of the identity
+    assert store.get(CONFIG, "FCFS-BF", "bid") is None  # clean miss
+    store.put(CONFIG, "FCFS-BF", "bid", OBJS)
+    assert store.get(CONFIG, "FCFS-BF", "bid") == OBJS
+    assert {old_digest, new_digest} <= store.disk_digests()
+
+
+def test_fault_config_roundtrips_and_addresses_runs():
+    faulty = CONFIG.with_values(
+        fault_mtbf=7200.0, fault_recovery="checkpoint",
+        fault_schedule=((10.0, 3, 60.0),), fault_model="scripted",
+    )
+    assert faulty.faults.enabled
+    back = config_from_dict(json.loads(json.dumps(config_to_dict(faulty))))
+    assert back == faulty
+    # Every fault knob must change the content address.
+    base = RunKey(faulty, "FCFS-BF", "bid").digest
+    assert RunKey(CONFIG, "FCFS-BF", "bid").digest != base
+    assert (
+        RunKey(faulty.with_values(fault_recovery="resubmit"), "FCFS-BF", "bid").digest
+        != base
+    )
+    assert RunKey(faulty.with_values(fault_mttr=1.0), "FCFS-BF", "bid").digest != base
+
+
+def test_malformed_faults_block_is_a_store_error():
+    doc = config_to_dict(CONFIG)
+    doc["faults"] = {"no_such_fault_field": True}
+    with pytest.raises(StoreError, match="faults"):
+        config_from_dict(doc)

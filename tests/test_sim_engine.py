@@ -64,6 +64,53 @@ def test_cancel_is_idempotent_and_safe_after_run():
     handle.cancel()
 
 
+def test_cancel_returns_true_only_once():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    assert sim.cancel(handle) is True
+    assert sim.cancel(handle) is False
+    assert handle.cancel() is False
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert handle.fired is True
+    assert sim.cancel(handle) is False
+    assert handle.cancelled is False  # a fired handle is never marked cancelled
+
+
+def test_cancel_from_inside_own_callback_is_noop():
+    sim = Simulator()
+    outcome = []
+
+    def self_cancel():
+        # The handle has already been popped and dispatched; cancelling it
+        # now must not corrupt the calendar or the cancellation accounting.
+        outcome.append(handle.cancel())
+
+    handle = sim.schedule(1.0, self_cancel)
+    sim.schedule(2.0, outcome.append, "later")
+    sim.run()
+    assert outcome == [False, "later"]
+
+
+def test_cancelled_counter_never_double_counts():
+    from repro.perf import capture as perf_capture
+
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    h2 = sim.schedule(2.0, lambda: None)
+    with perf_capture() as perf:
+        h1.cancel()
+        h1.cancel()  # second cancel must not count again
+        sim.run()
+        h2.cancel()  # fired already: not counted
+        counters = dict(perf.counters)
+    assert counters.get("sim.events_cancelled", 0) == 1
+
+
 def test_run_until_advances_clock_even_without_events():
     sim = Simulator()
     sim.run(until=100.0)
