@@ -201,7 +201,12 @@ def _parse_shard(text: Optional[str]) -> Optional[tuple]:
 
 def cmd_grid(args) -> int:
     from repro.core.ranking import rank_policies
-    from repro.experiments.pipeline import assemble_grid, execute_plan, grid_plan
+    from repro.experiments.pipeline import (
+        ExecutionPolicy,
+        assemble_grid,
+        execute_plan,
+        grid_plan,
+    )
     from repro.experiments.store import save_grid
 
     policies = args.policies or (
@@ -225,9 +230,20 @@ def cmd_grid(args) -> int:
     )
     store = RunStore(args.cache_dir) if args.cache_dir else RunCache()
     base = _config_from_args(args)
+    execution_policy = ExecutionPolicy(
+        run_timeout=args.run_timeout,
+        max_retries=args.max_retries,
+        backoff_base=args.retry_backoff,
+        max_sim_events=args.max_sim_events,
+        max_sim_time=args.max_sim_time,
+        on_error=args.on_error,
+    )
     plan = grid_plan(policies, args.model, base, args.set, scenarios)
     with perf_capture() as perf:
-        execution = execute_plan(plan, store, n_workers=args.workers, shard=shard)
+        execution = execute_plan(
+            plan, store, n_workers=args.workers, shard=shard,
+            execution=execution_policy,
+        )
         counters = dict(perf.counters)
     rate = execution.executed / max(execution.wall_s, 1e-12)
     print(
@@ -236,6 +252,9 @@ def cmd_grid(args) -> int:
         f"({execution.deferred} deferred to other shards) in "
         f"{execution.wall_s:.2f}s ({rate:,.2f} sims/s)"
     )
+    if execution.retries:
+        print(f"resilience: {execution.retries} retries "
+              f"({int(counters.get('pipeline.pool_rebuilds', 0))} pool rebuilds)")
     if args.cache_dir:
         print(
             f"run store: {store.cache_dir} — "
@@ -243,19 +262,44 @@ def cmd_grid(args) -> int:
             f"{int(counters.get('runstore.misses', 0))} misses, "
             f"{store.stats()['disk_runs']} runs on disk"
         )
-    if not execution.complete:
+    if execution.failed:
+        failures = store.failures()
+        print(
+            f"error: {len(execution.failed)} runs failed after retries "
+            "were exhausted:", file=sys.stderr,
+        )
+        for digest in execution.failed:
+            record = failures.get(digest)
+            detail = f" [{record.kind}] {record.message}" if record else ""
+            print(f"  {digest[:12]} ({digest}){detail}", file=sys.stderr)
+        if args.on_error == "abort":
+            print(
+                "rerun with --on-error degrade to assemble around the gaps "
+                "(failures are journaled in the run store)", file=sys.stderr,
+            )
+            return 1
+    if execution.deferred:
         print(
             "partial shard complete; run the remaining shards against the "
             "same --cache-dir, then rerun without --shard to assemble"
         )
         return 0
-    grid = assemble_grid(store, policies, args.model, base, args.set, scenarios)
-    ranking = " > ".join(
-        r.policy for r in rank_policies(grid.integrated_plot(OBJECTIVES),
-                                        by="performance")
+    on_missing = "degrade" if args.on_error == "degrade" else "raise"
+    grid = assemble_grid(
+        store, policies, args.model, base, args.set, scenarios,
+        on_missing=on_missing,
     )
-    print(f"grid complete ({args.model}, Set {args.set}, "
-          f"{len(list(scenarios))} scenarios): {ranking}")
+    if grid.degraded:
+        print(f"grid degraded ({args.model}, Set {args.set}): "
+              f"{len(grid.gaps)} gap cells — ranking skipped")
+        print(format_table(grid.gaps_report(), title="gaps"))
+    else:
+        ranking = " > ".join(
+            r.policy for r in rank_policies(grid.integrated_plot(OBJECTIVES),
+                                            by="performance")
+        )
+        print(f"grid complete ({args.model}, Set {args.set}, "
+              f"{len(list(scenarios))} scenarios): {ranking}")
     if args.output:
         path = save_grid(grid, args.output)
         print(f"grid analysis written to {path}")
@@ -295,7 +339,8 @@ def cmd_faults(args) -> int:
 
 def cmd_trace(args) -> int:
     if args.file:
-        jobs = parse_swf(args.file, last_n=args.last)
+        on_error = "skip" if args.lenient else "raise"
+        jobs = parse_swf(args.file, last_n=args.last, on_error=on_error)
         source = args.file
     else:
         jobs = generate_trace(SDSC_SP2.scaled(args.jobs), rng=args.seed)
@@ -464,6 +509,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1, help="process pool size")
     p.add_argument("--output", default=None,
                    help="write the assembled grid analysis JSON here")
+    group = p.add_argument_group("resilience")
+    group.add_argument("--run-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per simulation; a run over "
+                            "budget is retried, then journaled as failed")
+    group.add_argument("--max-retries", type=int, default=2,
+                       help="retries per run after its first failure "
+                            "(exponential backoff with jitter)")
+    group.add_argument("--retry-backoff", type=float, default=0.5,
+                       metavar="SECONDS", help="base delay of the "
+                       "exponential retry backoff")
+    group.add_argument("--max-sim-events", type=int, default=None,
+                       help="simulation watchdog: abort a run after this "
+                            "many events (never changes the run digest)")
+    group.add_argument("--max-sim-time", type=float, default=None,
+                       metavar="SECONDS",
+                       help="simulation watchdog: abort a run past this "
+                            "simulated time (never changes the run digest)")
+    group.add_argument("--on-error", choices=("abort", "degrade"),
+                       default="abort",
+                       help="after retries are exhausted: abort (exit "
+                            "non-zero naming failed digests) or degrade "
+                            "(assemble the grid around gap cells)")
     _add_scale_options(p)
     _add_fault_options(p)
     p.set_defaults(fn=cmd_grid)
@@ -496,6 +564,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--fit", action="store_true",
                    help="fit a synthetic TraceModel to the workload")
+    p.add_argument("--lenient", action="store_true",
+                   help="skip malformed SWF lines (with a counted warning) "
+                        "instead of aborting on the first one")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("frontier", help="Pareto frontier + risk-adjusted scores")

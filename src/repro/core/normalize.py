@@ -26,20 +26,31 @@ class NormalizationError(ValueError):
     """Raised on values that cannot be normalised (NaN, wrong shape)."""
 
 
-def _check_finite(values: np.ndarray) -> None:
+def _check_finite(values: np.ndarray, allow_gaps: bool = False) -> None:
+    """Reject non-finite raw values; with ``allow_gaps``, NaN marks a
+    missing cell of a degraded grid and only infinities are rejected."""
+    if allow_gaps:
+        if np.any(np.isinf(values)):
+            raise NormalizationError(f"infinite raw values: {values!r}")
+        return
     if not np.all(np.isfinite(values)):
         raise NormalizationError(f"non-finite raw values: {values!r}")
 
 
-def normalize_percentage(values: Iterable[float]) -> np.ndarray:
-    """Map percentage values to [0, 1]; values outside [0, 100] are clipped."""
+def normalize_percentage(
+    values: Iterable[float], allow_gaps: bool = False
+) -> np.ndarray:
+    """Map percentage values to [0, 1]; values outside [0, 100] are clipped.
+
+    With ``allow_gaps``, NaN entries (missing cells) pass through as NaN.
+    """
     arr = np.asarray(list(values), dtype=float)
-    _check_finite(arr)
+    _check_finite(arr, allow_gaps)
     return np.clip(arr / 100.0, 0.0, 1.0)
 
 
 def normalize_wait(
-    waits: Iterable[float], method: str = "relative-max"
+    waits: Iterable[float], method: str = "relative-max", allow_gaps: bool = False
 ) -> np.ndarray:
     """Normalise wait times (seconds, lower = better) across compared runs.
 
@@ -49,17 +60,24 @@ def normalize_wait(
 
     All-equal inputs (including all-zero) normalise to 1.0: there is no
     dispersion to penalise, and a uniformly-zero wait is the paper's ideal.
+
+    With ``allow_gaps``, NaN entries pass through as NaN and the max/min
+    statistics are taken over the present values only.
     """
     arr = np.asarray(list(waits), dtype=float)
-    _check_finite(arr)
+    _check_finite(arr, allow_gaps)
     if arr.size == 0:
         return arr
-    if np.any(arr < 0):
+    if np.any(arr[~np.isnan(arr)] < 0):
         raise NormalizationError("wait times cannot be negative")
-    w_max = float(arr.max())
-    w_min = float(arr.min())
+    if allow_gaps and np.all(np.isnan(arr)):
+        return arr
+    w_max = float(np.nanmax(arr))
+    w_min = float(np.nanmin(arr))
     if w_max == w_min:
-        return np.ones_like(arr)
+        out = np.ones_like(arr)
+        out[np.isnan(arr)] = np.nan
+        return out
     if method == "relative-max":
         return 1.0 - arr / w_max
     if method == "minmax":
@@ -71,16 +89,18 @@ def normalize_objective(
     objective: Objective,
     values: Iterable[float],
     wait_method: str = "relative-max",
+    allow_gaps: bool = False,
 ) -> np.ndarray:
     """Normalise raw values of one objective (dispatch on orientation)."""
     if objective is Objective.WAIT:
-        return normalize_wait(values, method=wait_method)
-    return normalize_percentage(values)
+        return normalize_wait(values, method=wait_method, allow_gaps=allow_gaps)
+    return normalize_percentage(values, allow_gaps=allow_gaps)
 
 
 def normalize_runs(
     runs: Sequence[Sequence[ObjectiveSet]],
     wait_method: str = "grid-max",
+    allow_gaps: bool = False,
 ) -> dict[Objective, np.ndarray]:
     """Normalise a (policy × scenario-value) grid of raw objective sets.
 
@@ -93,6 +113,10 @@ def normalize_runs(
     between 0.5 and 0.9 rather than at the floor.  ``relative-max`` and
     ``minmax`` normalise within each scenario value instead.
 
+    With ``allow_gaps`` (degraded grid assembly), ``None`` entries in
+    ``runs`` mark missing cells: they normalise to NaN and the wait
+    statistics are computed over present cells only.
+
     Returns ``{objective: array of shape (n_policies, n_values)}``.
     """
     if not runs:
@@ -100,23 +124,38 @@ def normalize_runs(
     n_values = len(runs[0])
     if any(len(r) != n_values for r in runs):
         raise NormalizationError("all policies must cover the same scenario values")
+    if not allow_gaps and any(objset is None for r in runs for objset in r):
+        raise NormalizationError(
+            "missing runs in a strict normalisation; pass allow_gaps=True "
+            "to degrade around them"
+        )
 
     out: dict[Objective, np.ndarray] = {}
     for objective in Objective:
         raw = np.array(
-            [[objset.value(objective) for objset in policy_runs] for policy_runs in runs],
+            [
+                [
+                    np.nan if objset is None else objset.value(objective)
+                    for objset in policy_runs
+                ]
+                for policy_runs in runs
+            ],
             dtype=float,
         )
         if objective is Objective.WAIT:
             if wait_method == "grid-max":
-                flat = normalize_wait(raw.ravel(), method="relative-max")
+                flat = normalize_wait(
+                    raw.ravel(), method="relative-max", allow_gaps=allow_gaps
+                )
                 out[objective] = flat.reshape(raw.shape)
             else:
                 cols = [
-                    normalize_wait(raw[:, v], method=wait_method)
+                    normalize_wait(raw[:, v], method=wait_method, allow_gaps=allow_gaps)
                     for v in range(n_values)
                 ]
                 out[objective] = np.stack(cols, axis=1) if cols else raw
         else:
-            out[objective] = normalize_percentage(raw.ravel()).reshape(raw.shape)
+            out[objective] = normalize_percentage(
+                raw.ravel(), allow_gaps=allow_gaps
+            ).reshape(raw.shape)
     return out

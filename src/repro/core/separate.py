@@ -15,6 +15,7 @@ with each normalized result :math:`0 \\le r_i \\le 1`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -23,16 +24,32 @@ import numpy as np
 
 @dataclass(frozen=True)
 class SeparateRisk:
-    """(performance, volatility) of one objective in one scenario."""
+    """(performance, volatility) of one objective in one scenario.
+
+    A *gap* — a cell whose runs are missing in a degraded grid assembly —
+    is the single NaN/NaN pair (:meth:`gap`); any other non-finite or
+    out-of-range value is rejected.
+    """
 
     performance: float
     volatility: float
 
     def __post_init__(self) -> None:
+        if math.isnan(self.performance) and math.isnan(self.volatility):
+            return  # explicit gap marker, see gap()
         if not (0.0 <= self.performance <= 1.0 + 1e-9):
             raise ValueError(f"performance out of [0,1]: {self.performance}")
         if self.volatility < -1e-12:
             raise ValueError(f"negative volatility: {self.volatility}")
+
+    @classmethod
+    def gap(cls) -> "SeparateRisk":
+        """The explicit missing-cell marker of a degraded grid."""
+        return cls(performance=float("nan"), volatility=float("nan"))
+
+    @property
+    def is_gap(self) -> bool:
+        return math.isnan(self.performance)
 
 
 def separate_risk(normalized_results: Iterable[float]) -> SeparateRisk:

@@ -1,0 +1,55 @@
+"""Deterministic crash injection for testing the execution supervisor.
+
+The resilience guarantees of :mod:`repro.experiments.pipeline` — a grid
+survives SIGKILLed workers — are only testable if something actually
+kills a worker.  This module is that something: a worker calls
+:func:`maybe_crash` before simulating, and when chaos is armed via
+environment variables the process SIGKILLs *itself*, exactly once per
+work item, so retries then succeed and the test can assert bit-identical
+recovery.
+
+Chaos is armed by exporting both variables (the pool's workers inherit
+the parent's environment):
+
+``REPRO_CHAOS_DIR``
+    A scratch directory for once-only markers.  One ``<digest>.killed``
+    marker is created (atomically, ``O_EXCL``) per crashed item, so a
+    resubmitted run of the same digest proceeds normally.
+``REPRO_CHAOS_KILL``
+    Maximum number of distinct work items to crash (an integer budget).
+
+Unset (the default everywhere outside the chaos tests and the CI
+``chaos-smoke`` job), :func:`maybe_crash` is a single dict lookup.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+ENV_DIR = "REPRO_CHAOS_DIR"
+ENV_KILL = "REPRO_CHAOS_KILL"
+
+
+def maybe_crash(digest: str) -> None:
+    """SIGKILL this process if chaos is armed and the budget allows it."""
+    chaos_dir = os.environ.get(ENV_DIR)
+    if not chaos_dir:
+        return
+    try:
+        budget = int(os.environ.get(ENV_KILL, "0"))
+    except ValueError:
+        return
+    if budget <= 0 or not os.path.isdir(chaos_dir):
+        return
+    marker = os.path.join(chaos_dir, f"{digest}.killed")
+    if os.path.exists(marker):
+        return  # this item already took its crash; run normally
+    if len([n for n in os.listdir(chaos_dir) if n.endswith(".killed")]) >= budget:
+        return
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:  # lost the race: another worker crashed it
+        return
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)

@@ -1,0 +1,228 @@
+"""Structured error taxonomy of the resilient execution layer.
+
+A failed simulation run is a first-class artefact, not an aborted grid:
+the supervisor in :mod:`repro.experiments.pipeline` classifies every
+failure into exactly one of three kinds, retries the retryable ones with
+exponential backoff, and journals whatever remains into the run store's
+``failures.jsonl`` so a degraded grid can name each missing cell.
+
+Kinds
+-----
+``timeout``
+    The run exceeded its wall-clock budget (``--run-timeout``) or its
+    simulation watchdog budget (``--max-sim-events`` /
+    ``--max-sim-time``, see
+    :class:`repro.sim.engine.SimBudgetExceeded`).  Retryable — a
+    straggler may have been co-scheduled with a noisy neighbour — but a
+    deterministic watchdog overrun will simply time out again and
+    exhaust its retries.
+``crash``
+    The worker process died (SIGKILL, OOM-kill, segfault): the pool
+    reports :class:`concurrent.futures.process.BrokenProcessPool` and
+    the supervisor rebuilds it.  Retryable.
+``error``
+    The simulation raised.  Carries the exception type and the tail of
+    its traceback; deterministic, so retries are pointless, but the
+    supervisor still grants them (a run can fail on transient resources
+    like file descriptors).
+
+All three exception types are :class:`RunError` s, and every one renders
+to the same JSON shape (:meth:`RunError.to_dict`) that the failure
+journal stores and the gaps report shows.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: how many lines of a failing run's traceback the journal keeps.
+TRACEBACK_TAIL_LINES = 10
+
+
+class RunError(Exception):
+    """Base of the run-failure taxonomy (never raised directly)."""
+
+    kind = "error"
+    retryable = True
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def to_dict(self) -> dict:
+        """The JSON shape journaled per failure."""
+        return {"kind": self.kind, "message": self.message}
+
+
+class RunTimeout(RunError):
+    """A run exceeded its wall-clock or simulation-watchdog budget."""
+
+    kind = "timeout"
+
+    def __init__(self, message: str, budget: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.budget = budget  #: which budget tripped (e.g. "wall-clock 5s")
+
+    def to_dict(self) -> dict:
+        doc = super().to_dict()
+        if self.budget is not None:
+            doc["budget"] = self.budget
+        return doc
+
+
+class RunCrashed(RunError):
+    """The worker process executing a run died (SIGKILL, OOM, segfault)."""
+
+    kind = "crash"
+
+
+class RunFailed(RunError):
+    """The simulation itself raised; deterministic and diagnosable."""
+
+    kind = "failure"
+
+    def __init__(
+        self,
+        message: str,
+        exc_type: str = "",
+        traceback_tail: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.exc_type = exc_type
+        self.traceback_tail = traceback_tail
+
+    def to_dict(self) -> dict:
+        doc = super().to_dict()
+        doc["exc_type"] = self.exc_type
+        if self.traceback_tail:
+            doc["traceback_tail"] = self.traceback_tail
+        return doc
+
+
+def error_from_dict(doc: dict) -> RunError:
+    """Rebuild a :class:`RunError` from :meth:`RunError.to_dict` output.
+
+    Workers report failures as plain data (exceptions with tracebacks do
+    not always pickle cleanly across a process pool); the supervisor
+    rehydrates them here.  Unknown kinds degrade to :class:`RunFailed`.
+    """
+    kind = doc.get("kind")
+    message = str(doc.get("message", ""))
+    if kind == "timeout":
+        return RunTimeout(message, budget=doc.get("budget"))
+    if kind == "crash":
+        return RunCrashed(message)
+    return RunFailed(
+        message,
+        exc_type=str(doc.get("exc_type", "")),
+        traceback_tail=str(doc.get("traceback_tail", "")),
+    )
+
+
+class GridExecutionError(RuntimeError):
+    """A grid finished its plan with cells that exhausted their retries.
+
+    Raised by the abort policy (``--on-error abort``, the default): it
+    names every failed digest so the operator can grep the failure
+    journal, fix the cause, and resume against the same cache directory.
+    """
+
+    def __init__(self, failures: "list[FailureRecord]") -> None:
+        self.failures = list(failures)
+        digests = ", ".join(f"{f.digest[:12]} ({f.kind})" for f in self.failures)
+        super().__init__(
+            f"{len(self.failures)} run(s) failed after exhausting retries: "
+            f"{digests} — see failures.jsonl in the cache dir, or rerun "
+            "with on_error='degrade' to assemble around the gaps"
+        )
+
+
+def classify_failure(exc: BaseException) -> RunError:
+    """Map an arbitrary exception from a run into the taxonomy.
+
+    :class:`~repro.sim.engine.SimBudgetExceeded` (and any
+    :class:`RunError` already raised, e.g. a worker-side wall-clock
+    alarm) pass through as timeouts/them-selves; everything else becomes
+    a :class:`RunFailed` carrying the exception type and the last
+    :data:`TRACEBACK_TAIL_LINES` lines of its traceback.
+    """
+    if isinstance(exc, RunError):
+        return exc
+    from repro.sim.engine import SimBudgetExceeded
+
+    if isinstance(exc, SimBudgetExceeded):
+        return RunTimeout(str(exc), budget=exc.budget)
+    tail = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    ).splitlines()[-TRACEBACK_TAIL_LINES:]
+    return RunFailed(
+        f"{type(exc).__name__}: {exc}",
+        exc_type=type(exc).__name__,
+        traceback_tail="\n".join(tail),
+    )
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One journaled failure: which run, what happened, how hard we tried.
+
+    Content-addressed by the same :class:`~repro.experiments.runstore.RunKey`
+    digest as the run documents, so a failure and its (eventual) success
+    refer to the same cell; a digest with a run document on disk is
+    *resolved* regardless of what the journal says.
+    """
+
+    digest: str
+    policy: str
+    model: str
+    kind: str  #: "timeout" | "crash" | "failure"
+    message: str
+    attempts: int  #: total attempts made (first try + retries)
+    detail: dict = field(default_factory=dict)  #: kind-specific extras
+
+    def to_dict(self) -> dict:
+        doc = {
+            "digest": self.digest,
+            "policy": self.policy,
+            "model": self.model,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+        if self.detail:
+            doc["detail"] = dict(self.detail)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FailureRecord":
+        try:
+            return cls(
+                digest=str(doc["digest"]),
+                policy=str(doc.get("policy", "")),
+                model=str(doc.get("model", "")),
+                kind=str(doc.get("kind", "failure")),
+                message=str(doc.get("message", "")),
+                attempts=int(doc.get("attempts", 1)),
+                detail=dict(doc.get("detail", {})),
+            )
+        except (TypeError, ValueError, KeyError) as exc:
+            raise ValueError(f"malformed failure record: {exc}") from exc
+
+    @classmethod
+    def from_error(
+        cls, digest: str, policy: str, model: str, error: RunError, attempts: int
+    ) -> "FailureRecord":
+        doc = error.to_dict()
+        doc.pop("kind", None)
+        doc.pop("message", None)
+        return cls(
+            digest=digest,
+            policy=policy,
+            model=model,
+            kind=error.kind,
+            message=error.message,
+            attempts=attempts,
+            detail=doc,
+        )

@@ -19,26 +19,60 @@ same three stages:
    parallel, sharded, and resumed executions of the same plan are
    bit-identical.
 
+Execution is *supervised* (see :class:`ExecutionPolicy`): every run gets
+a wall-clock budget and a simulation watchdog, failures are classified
+into the :mod:`repro.experiments.errors` taxonomy and retried with
+jittered exponential backoff, a SIGKILLed worker only costs the in-flight
+runs (the pool is rebuilt and they are resubmitted), and runs that
+exhaust their retries are journaled in the store's ``failures.jsonl``
+instead of aborting the grid.  :func:`assemble_grid` can then either
+refuse the incomplete store (the default) or degrade gracefully,
+marking the missing cells as explicit gaps.
+
 Simulations are pure functions of their :class:`RunKey`, which is what
 makes all of this sound: the store can replay any subset in any order.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
+import random
+import signal
+import threading
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.normalize import normalize_runs
 from repro.core.objectives import Objective, ObjectiveSet
-from repro.core.separate import separate_risk
+from repro.core.separate import SeparateRisk, separate_risk
+from repro.experiments import chaos
+from repro.experiments.errors import (
+    FailureRecord,
+    RunCrashed,
+    RunError,
+    RunTimeout,
+    classify_failure,
+    error_from_dict,
+)
 from repro.experiments.runstore import RunKey, RunStore, StoreError
 from repro.experiments.scenarios import SCENARIOS, ExperimentConfig, Scenario
 from repro.perf.registry import PERF
 
 #: One unit of work: simulate ``policy`` on ``config`` under ``model``.
 WorkItem = tuple[ExperimentConfig, str, str]
+
+#: perf counter per failure kind.
+_KIND_COUNTERS = {
+    "timeout": "pipeline.run_timeouts",
+    "crash": "pipeline.run_crashes",
+    "failure": "pipeline.run_failures",
+}
 
 
 def grid_plan(
@@ -64,6 +98,73 @@ def grid_plan(
 
 
 @dataclass(frozen=True)
+class ExecutionPolicy:
+    """Supervision knobs of one :func:`execute_plan` call.
+
+    The defaults supervise without constraining: no wall-clock or
+    watchdog budget, up to two retries per failing run.  ``clock`` and
+    ``sleep`` are injectable so the backoff schedule is unit-testable
+    with a fake clock.
+    """
+
+    #: wall-clock seconds one run may take before it is timed out
+    #: (enforced in-worker via ``SIGALRM`` on the pool path and, where the
+    #: interpreter allows signal handlers, on the serial path too).
+    run_timeout: Optional[float] = None
+    #: additional attempts granted after the first failed one.
+    max_retries: int = 2
+    #: first retry waits ~``backoff_base`` seconds; each further retry
+    #: doubles it, capped at ``backoff_cap``, jittered to 50–150 %.
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+    #: simulation watchdog budgets handed to every ``run_single``.
+    max_sim_events: Optional[int] = None
+    max_sim_time: Optional[float] = None
+    #: what a caller should do with journaled failures: ``"abort"`` raises
+    #: :class:`~repro.experiments.errors.GridExecutionError`, ``"degrade"``
+    #: assembles around the gaps.  :func:`execute_plan` itself always
+    #: completes the plan either way — the journal should be complete.
+    on_error: str = "abort"
+    #: supervisor poll granularity (straggler deadline checks), seconds.
+    poll_interval: float = 0.25
+    clock: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ("abort", "degrade"):
+            raise ValueError(f"on_error must be 'abort' or 'degrade', got {self.on_error!r}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.run_timeout is not None and self.run_timeout <= 0:
+            raise ValueError(f"run_timeout must be positive, got {self.run_timeout}")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def backoff_delay(self, digest: str, attempt: int) -> float:
+        """Jittered exponential backoff before retrying ``digest``.
+
+        ``attempt`` is the number of attempts already made (>= 1).  The
+        jitter is a pure function of (digest, attempt), so reruns are
+        reproducible and concurrent retries of different cells decorrelate.
+        """
+        base = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        jitter = random.Random(f"{digest}:{attempt}").random()
+        return base * (0.5 + jitter)
+
+    def straggler_deadline(self) -> Optional[float]:
+        """Wall-clock budget after which the *supervisor* declares a run
+        hung (the in-worker alarm plus scheduling/serialisation grace)."""
+        if self.run_timeout is None:
+            return None
+        return self.run_timeout * 1.5 + 5.0
+
+
+DEFAULT_EXECUTION = ExecutionPolicy()
+
+
+@dataclass(frozen=True)
 class PlanExecution:
     """What one :func:`execute_plan` call did."""
 
@@ -73,11 +174,16 @@ class PlanExecution:
     executed: int  #: runs simulated by this call (== misses unless sharded)
     deferred: int  #: misses left to other shards
     wall_s: float
+    #: digests that exhausted their retries (journaled in the store).
+    failed: tuple[str, ...] = ()
+    #: resubmissions performed by the supervisor (retries + crash recovery).
+    retries: int = 0
 
     @property
     def complete(self) -> bool:
-        """True when every miss was simulated (nothing left to a peer shard)."""
-        return self.deferred == 0
+        """True when every miss was simulated (nothing left to a peer shard
+        and nothing journaled as failed)."""
+        return self.deferred == 0 and not self.failed
 
 
 def _parse_shard(shard: Optional[tuple[int, int]]) -> Optional[tuple[int, int]]:
@@ -89,17 +195,73 @@ def _parse_shard(shard: Optional[tuple[int, int]]) -> Optional[tuple[int, int]]:
     return index, count
 
 
-def _worker(item: WorkItem) -> tuple[WorkItem, ObjectiveSet, Optional[dict]]:
+@contextmanager
+def _wall_clock_limit(seconds: Optional[float]):
+    """Raise :class:`RunTimeout` when the body runs longer than ``seconds``.
+
+    Uses ``SIGALRM`` (via ``setitimer``), so it only arms in a main
+    thread on platforms that have it; elsewhere it is a no-op and the
+    supervisor's straggler deadline is the only wall-clock enforcement.
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise RunTimeout(
+            f"run exceeded its wall-clock budget of {seconds:g}s",
+            budget=f"run_timeout={seconds:g}",
+        )
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _worker(
+    item: WorkItem,
+    run_timeout: Optional[float] = None,
+    max_sim_events: Optional[int] = None,
+    max_sim_time: Optional[float] = None,
+) -> tuple[WorkItem, Optional[ObjectiveSet], Optional[dict], Optional[dict]]:
     """Simulate one work item in a worker process.
 
-    Returns the per-item delta of the worker's perf counters (when the
-    registry is enabled there) so the parent can fold worker-side activity
-    — simulated jobs, engine events — back into its own registry.
+    Returns ``(item, objectives, perf_delta, error)``: exactly one of
+    ``objectives`` / ``error`` is set.  Failures come back as *data*
+    (:meth:`RunError.to_dict`) rather than raised exceptions, so the
+    parent never depends on cross-process exception pickling; a raised
+    :class:`BrokenProcessPool` therefore always means the process died.
+    ``perf_delta`` is the per-item delta of the worker's perf counters
+    (when the registry is enabled there) so the parent can fold
+    worker-side activity back into its own registry.
     """
     from repro.experiments.runner import run_single
 
+    chaos.maybe_crash(RunKey(*item).digest)
     before = dict(PERF.counters) if PERF.enabled else None
-    objectives = run_single(item[0], item[1], item[2])
+    error: Optional[dict] = None
+    objectives: Optional[ObjectiveSet] = None
+    try:
+        with _wall_clock_limit(run_timeout):
+            objectives = run_single(
+                item[0],
+                item[1],
+                item[2],
+                max_sim_events=max_sim_events,
+                max_sim_time=max_sim_time,
+            )
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:
+        error = classify_failure(exc).to_dict()
     delta = None
     if before is not None:
         delta = {
@@ -107,7 +269,241 @@ def _worker(item: WorkItem) -> tuple[WorkItem, ObjectiveSet, Optional[dict]]:
             for name, value in PERF.counters.items()
             if value != before.get(name, 0)
         }
-    return item, objectives, delta
+    return item, objectives, delta, error
+
+
+class _Supervisor:
+    """Shared retry/failure bookkeeping of the serial and pool paths."""
+
+    def __init__(self, store: RunStore, policy: ExecutionPolicy) -> None:
+        self.store = store
+        self.policy = policy
+        self.attempts: dict[str, int] = {}
+        self.failed: list[str] = []
+        self.retries = 0
+
+    def note_failure(self, item: WorkItem, digest: str, error: RunError) -> bool:
+        """Record one failed attempt; True when the item should be retried."""
+        attempts = self.attempts.get(digest, 0) + 1
+        self.attempts[digest] = attempts
+        if PERF.enabled:
+            PERF.incr(_KIND_COUNTERS.get(error.kind, "pipeline.run_failures"))
+        if error.retryable and attempts < self.policy.max_attempts:
+            self.retries += 1
+            if PERF.enabled:
+                PERF.incr("pipeline.retries")
+            return True
+        self.store.record_failure(
+            FailureRecord.from_error(digest, item[1], item[2], error, attempts)
+        )
+        self.failed.append(digest)
+        return False
+
+
+def _execute_serial(
+    mine: Sequence[tuple[WorkItem, str]], store: RunStore, policy: ExecutionPolicy
+) -> _Supervisor:
+    from repro.experiments.runner import run_single
+
+    supervisor = _Supervisor(store, policy)
+    for item, digest in mine:
+        while True:
+            try:
+                with _wall_clock_limit(policy.run_timeout):
+                    objectives = run_single(
+                        item[0],
+                        item[1],
+                        item[2],
+                        max_sim_events=policy.max_sim_events,
+                        max_sim_time=policy.max_sim_time,
+                    )
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                error = classify_failure(exc)
+                if supervisor.note_failure(item, digest, error):
+                    policy.sleep(
+                        policy.backoff_delay(digest, supervisor.attempts[digest])
+                    )
+                    continue
+                break
+            store.put(item[0], item[1], item[2], objectives)
+            break
+    return supervisor
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcefully stop a pool: SIGKILL its workers, then shut it down.
+
+    Used when a straggler must be evicted (a worker stuck past its
+    deadline cannot be cancelled through the executor API) and on
+    KeyboardInterrupt, so an interrupted grid never leaves zombie
+    workers behind.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except (OSError, AttributeError):  # pragma: no cover - racing exit
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _execute_pool(
+    mine: Sequence[tuple[WorkItem, str]],
+    store: RunStore,
+    n_workers: int,
+    policy: ExecutionPolicy,
+) -> _Supervisor:
+    """The supervised process-pool path.
+
+    Invariants: at most ``n_workers`` items are in flight (so wall-clock
+    deadlines start ticking when a run actually starts); every completed
+    run is checkpointed to the store immediately; a broken pool is
+    rebuilt and only the in-flight items are resubmitted; retries wait
+    out their backoff in a delay queue without blocking the supervisor.
+    """
+    supervisor = _Supervisor(store, policy)
+    queue: deque[tuple[WorkItem, str]] = deque(mine)
+    #: backoff heap: (ready_time, seq, item, digest)
+    delayed: list[tuple[float, int, WorkItem, str]] = []
+    seq = 0
+    inflight: dict = {}  # future -> (item, digest, deadline)
+    pool = ProcessPoolExecutor(max_workers=n_workers)
+
+    def submit(entry: tuple[WorkItem, str]) -> bool:
+        nonlocal pool
+        item, digest = entry
+        try:
+            future = pool.submit(
+                _worker,
+                item,
+                policy.run_timeout,
+                policy.max_sim_events,
+                policy.max_sim_time,
+            )
+        except (BrokenProcessPool, RuntimeError):
+            # The pool broke between completions; rebuild and retry the
+            # submission on the fresh pool.
+            queue.appendleft(entry)
+            rebuild()
+            return False
+        deadline = None
+        if policy.straggler_deadline() is not None:
+            deadline = policy.clock() + policy.straggler_deadline()
+        inflight[future] = (item, digest, deadline)
+        return True
+
+    def rebuild() -> None:
+        nonlocal pool
+        _kill_pool(pool)
+        # In-flight futures died with the pool: resubmit their items.
+        for item, digest, _ in inflight.values():
+            queue.append((item, digest))
+        inflight.clear()
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        if PERF.enabled:
+            PERF.incr("pipeline.pool_rebuilds")
+
+    def handle_outcome(item: WorkItem, digest: str, future) -> None:
+        try:
+            _, objectives, perf_delta, error_doc = future.result()
+        except BrokenProcessPool:
+            # The worker running (or queued for) this future died.
+            error: Optional[RunError] = RunCrashed(
+                "worker process died (BrokenProcessPool) — "
+                "SIGKILL, OOM-kill, or segfault"
+            )
+            perf_delta = None
+        except Exception as exc:  # unpicklable result, executor internals
+            error = classify_failure(exc)
+            perf_delta = None
+        else:
+            error = error_from_dict(error_doc) if error_doc is not None else None
+        if perf_delta and PERF.enabled:
+            PERF.merge_counters(perf_delta)
+        if error is None:
+            store.put(item[0], item[1], item[2], objectives)
+            return
+        if supervisor.note_failure(item, digest, error):
+            nonlocal seq
+            ready = policy.clock() + policy.backoff_delay(
+                digest, supervisor.attempts[digest]
+            )
+            heapq.heappush(delayed, (ready, seq, item, digest))
+            seq += 1
+
+    try:
+        while queue or delayed or inflight:
+            now = policy.clock()
+            while delayed and delayed[0][0] <= now:
+                _, _, item, digest = heapq.heappop(delayed)
+                queue.append((item, digest))
+            while queue and len(inflight) < n_workers:
+                if not submit(queue.popleft()):
+                    break
+            if not inflight:
+                if delayed:
+                    policy.sleep(
+                        max(delayed[0][0] - policy.clock(), 0.0)
+                        or policy.poll_interval
+                    )
+                continue
+            done, _ = wait(
+                set(inflight),
+                timeout=policy.poll_interval,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                item, digest, _ = inflight.pop(future)
+                handle_outcome(item, digest, future)
+            # A BrokenProcessPool outcome dooms every other in-flight
+            # future too; the executor marks itself broken when a worker
+            # vanishes, so consult that flag rather than guessing.
+            if getattr(pool, "_broken", False):
+                rebuild()
+                continue
+            # Straggler backstop: a worker stuck past its deadline (e.g.
+            # wedged in C code where SIGALRM cannot fire) is evicted by
+            # killing the pool; innocent in-flight items are resubmitted
+            # without being charged an attempt.
+            now = policy.clock()
+            expired = [
+                future
+                for future, (_, _, deadline) in inflight.items()
+                if deadline is not None and now > deadline
+            ]
+            if expired:
+                for future in expired:
+                    item, digest, _ = inflight.pop(future)
+                    if supervisor.note_failure(
+                        item,
+                        digest,
+                        RunTimeout(
+                            "run exceeded the supervisor's straggler deadline "
+                            f"({policy.straggler_deadline():g}s)",
+                            budget=f"run_timeout={policy.run_timeout:g}",
+                        ),
+                    ):
+                        ready = policy.clock() + policy.backoff_delay(
+                            digest, supervisor.attempts[digest]
+                        )
+                        heapq.heappush(delayed, (ready, seq, item, digest))
+                        seq += 1
+                rebuild()
+    except KeyboardInterrupt:
+        # Leave no zombies and keep the store consistent: everything
+        # already completed has been checkpointed, so a rerun against the
+        # same cache dir resumes exactly where this stopped.
+        for future in inflight:
+            future.cancel()
+        _kill_pool(pool)
+        if PERF.enabled:
+            PERF.incr("pipeline.interrupted")
+        raise
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+    return supervisor
 
 
 def execute_plan(
@@ -115,8 +511,9 @@ def execute_plan(
     store: RunStore,
     n_workers: int = 1,
     shard: Optional[tuple[int, int]] = None,
+    execution: ExecutionPolicy = DEFAULT_EXECUTION,
 ) -> PlanExecution:
-    """Dedupe, (optionally) shard, simulate, and checkpoint a plan.
+    """Dedupe, (optionally) shard, simulate under supervision, checkpoint.
 
     Accounting matches the serial runner's per-access semantics: every
     plan entry is one logical access; the first access of a key the store
@@ -131,9 +528,13 @@ def execute_plan(
     content hash, so it is stable no matter how much of the grid other
     shards have already checkpointed; the returned :class:`PlanExecution`
     reports the deferred remainder.
-    """
-    from repro.experiments.runner import run_single
 
+    ``execution`` supervises the simulations (timeouts, retries with
+    backoff, crash recovery — see :class:`ExecutionPolicy`).  Runs that
+    exhaust their retries are journaled in the store and reported in
+    ``PlanExecution.failed``; the plan itself always runs to the end, so
+    one poisoned cell cannot abort a long sweep.
+    """
     shard = _parse_shard(shard)
     t0 = time.perf_counter()
 
@@ -158,28 +559,19 @@ def execute_plan(
     if shard is not None:
         index, count = shard
         mine = [
-            item for item, digest in pending
+            (item, digest) for item, digest in pending
             if int(digest[:8], 16) % count == index
         ]
     else:
-        mine = [item for item, _ in pending]
+        mine = pending
     deferred = misses - len(mine)
 
     if mine and n_workers > 1:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = {pool.submit(_worker, item) for item in mine}
-            while futures:
-                done, futures = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    (config, policy, model), objectives, perf_delta = future.result()
-                    store.put(config, policy, model, objectives)
-                    if perf_delta and PERF.enabled:
-                        PERF.merge_counters(perf_delta)
+        supervisor = _execute_pool(mine, store, n_workers, execution)
         if PERF.enabled:
             PERF.incr("runner.parallel_dispatches", len(mine))
     else:
-        for config, policy, model in mine:
-            store.put(config, policy, model, run_single(config, policy, model))
+        supervisor = _execute_serial(mine, store, execution)
 
     wall = time.perf_counter() - t0
     if PERF.enabled:
@@ -192,6 +584,8 @@ def execute_plan(
         executed=len(mine),
         deferred=deferred,
         wall_s=wall,
+        failed=tuple(supervisor.failed),
+        retries=supervisor.retries,
     )
 
 
@@ -203,19 +597,35 @@ def assemble_grid(
     set_name: str = "A",
     scenarios: Sequence[Scenario] = SCENARIOS,
     wait_method: str = "grid-max",
+    on_missing: str = "raise",
 ):
-    """Reduce a fully populated store to a :class:`GridAnalysis`.
+    """Reduce a fully (or partially) populated store to a ``GridAnalysis``.
 
     Purely a read: normalises each scenario's raw objective grid (§4.1)
     and applies Eqs. 5–6, exactly as the serial runner always has — which
     is why any execution strategy that fills the store yields the same
-    bytes.  Raises :class:`StoreError` naming the gap when runs are
-    missing (e.g. not every shard has completed yet).
+    bytes.
+
+    ``on_missing`` chooses the policy for absent runs:
+
+    ``"raise"`` (default)
+        Raise :class:`StoreError` naming the gap count (e.g. not every
+        shard has completed yet) — the historical behaviour.
+    ``"degrade"``
+        Tolerate the gaps: missing cells contribute nothing to the
+        scenario's normalisation, a policy with no surviving cells in a
+        scenario gets a NaN :class:`SeparateRisk` gap marker, and the
+        returned analysis carries a ``gaps`` report listing each missing
+        cell's digest, config knob, and journaled failure reason.
     """
     from repro.experiments.runner import GridAnalysis
 
+    if on_missing not in ("raise", "degrade"):
+        raise ValueError(f"on_missing must be 'raise' or 'degrade', got {on_missing!r}")
     base = base.for_set(set_name)
     missing = 0
+    gaps: list[dict] = []
+    journal = store.failures() if on_missing == "degrade" else {}
     separate: dict[Objective, dict[str, dict[str, object]]] = {
         objective: {policy: {} for policy in policies} for objective in Objective
     }
@@ -225,19 +635,35 @@ def assemble_grid(
             [store.get(config, policy, model_name) for config in configs]
             for policy in policies
         ]
-        missing += sum(run is None for policy_runs in runs for run in policy_runs)
-        if missing:
+        scenario_missing = sum(
+            run is None for policy_runs in runs for run in policy_runs
+        )
+        missing += scenario_missing
+        if scenario_missing and on_missing == "raise":
+            continue
+        if scenario_missing:
+            gaps.extend(
+                _scenario_gaps(scenario, configs, policies, model_name, runs, journal)
+            )
+            normalized = normalize_runs(runs, wait_method=wait_method, allow_gaps=True)
+            for objective in Objective:
+                grid = normalized[objective]
+                for p, policy in enumerate(policies):
+                    values = [v for v in grid[p] if math.isfinite(v)]
+                    separate[objective][policy][scenario.name] = (
+                        separate_risk(values) if values else SeparateRisk.gap()
+                    )
             continue
         normalized = normalize_runs(runs, wait_method=wait_method)
         for objective in Objective:
             grid = normalized[objective]
             for p, policy in enumerate(policies):
                 separate[objective][policy][scenario.name] = separate_risk(grid[p])
-    if missing:
+    if missing and on_missing == "raise":
         raise StoreError(
             f"grid incomplete: {missing} run(s) absent from the store — "
             "rerun against the same cache dir (or finish the other shards) "
-            "before assembling"
+            "before assembling, or assemble with on_missing='degrade'"
         )
     return GridAnalysis(
         model=model_name,
@@ -245,4 +671,35 @@ def assemble_grid(
         policies=tuple(policies),
         scenarios=tuple(s.name for s in scenarios),
         separate=separate,
+        gaps=tuple(gaps),
     )
+
+
+def _scenario_gaps(
+    scenario: Scenario,
+    configs: Sequence[ExperimentConfig],
+    policies: Sequence[str],
+    model_name: str,
+    runs: Sequence[Sequence[Optional[ObjectiveSet]]],
+    journal: dict,
+) -> list[dict]:
+    """Gap-report entries for one scenario's missing cells."""
+    gaps = []
+    for p, policy in enumerate(policies):
+        for v, objectives in enumerate(runs[p]):
+            if objectives is not None:
+                continue
+            digest = RunKey(configs[v], policy, model_name).digest
+            failure = journal.get(digest)
+            gaps.append(
+                {
+                    "digest": digest,
+                    "policy": policy,
+                    "scenario": scenario.name,
+                    "knob": scenario.field_name,
+                    "value": scenario.values[v],
+                    "kind": failure.kind if failure else "missing",
+                    "reason": failure.message if failure else "no run in store",
+                }
+            )
+    return gaps

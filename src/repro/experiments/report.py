@@ -37,7 +37,9 @@ def _fmt(value) -> str:
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
-        return f"{value:.3f}"
+        # NaN marks a gap cell of a degraded grid — render it explicitly
+        # rather than as a confusing "nan" number.
+        return "(gap)" if value != value else f"{value:.3f}"
     if isinstance(value, (list, tuple)):
         return ", ".join(_fmt(v) for v in value)
     return str(value)

@@ -105,8 +105,18 @@ def run_single(
     policy_name: str,
     model_name: str,
     cache: Optional[RunStore] = None,
+    max_sim_events: Optional[int] = None,
+    max_sim_time: Optional[float] = None,
 ) -> ObjectiveSet:
-    """Run one policy on one configuration and measure the four objectives."""
+    """Run one policy on one configuration and measure the four objectives.
+
+    ``max_sim_events`` / ``max_sim_time`` arm the simulation watchdog
+    (:meth:`repro.sim.engine.Simulator.set_budget`): a scenario that would
+    spin forever raises :class:`~repro.sim.engine.SimBudgetExceeded`
+    instead, which the pipeline supervisor classifies as a retryable
+    timeout.  The budgets are execution knobs, not part of the run's
+    content identity — they never change the :class:`RunKey` digest.
+    """
     if cache is not None:
         cached = cache.get(config, policy_name, model_name)
         if cached is not None:
@@ -119,10 +129,17 @@ def run_single(
             PERF.incr("runner.cache_misses")
     t0 = time.perf_counter()
     jobs = build_workload(config)
+    sim = None
+    if max_sim_events is not None or max_sim_time is not None:
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        sim.set_budget(max_events=max_sim_events, max_sim_time=max_sim_time)
     service = CommercialComputingService(
         make_policy(policy_name),
         make_model(model_name),
         total_procs=config.total_procs,
+        sim=sim,
         fault_config=config.faults if config.faults.enabled else None,
         fault_seed=config.seed,
     )
@@ -171,6 +188,11 @@ class GridAnalysis:
 
     The raw material of every risk-analysis plot in the paper's §6:
     ``separate[objective][policy][scenario]`` is a :class:`SeparateRisk`.
+
+    A degraded assembly (``assemble_grid(..., on_missing="degrade")``)
+    marks cells whose runs are missing with :meth:`SeparateRisk.gap`
+    markers and lists each missing run in ``gaps`` — plots simply omit
+    the gap points, and :meth:`gaps_report` renders the inventory.
     """
 
     model: str
@@ -178,13 +200,41 @@ class GridAnalysis:
     policies: tuple[str, ...]
     scenarios: tuple[str, ...]
     separate: dict[Objective, dict[str, dict[str, SeparateRisk]]]
+    #: one entry per missing run of a degraded assembly (digest, policy,
+    #: scenario, knob, value, kind, reason); empty for a complete grid.
+    gaps: tuple = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when this analysis was assembled around missing runs."""
+        return bool(self.gaps)
+
+    def gaps_report(self) -> list[dict]:
+        """Table-ready rows describing every gap (empty when complete)."""
+        return [
+            {
+                "digest": gap["digest"][:12],
+                "policy": gap["policy"],
+                "scenario": gap["scenario"],
+                "knob": f"{gap['knob']}={gap['value']:g}",
+                "kind": gap["kind"],
+                "reason": gap["reason"],
+            }
+            for gap in self.gaps
+        ]
 
     def separate_plot(self, objective: Objective, title: str = "") -> RiskPlot:
-        """Fig. 3/6-style plot: one objective, one point per scenario."""
+        """Fig. 3/6-style plot: one objective, one point per scenario.
+
+        Gap cells of a degraded grid are omitted from the plot (they have
+        no coordinates); see :meth:`gaps_report` for what is missing.
+        """
         plot = RiskPlot(title=title or f"{self.model} Set {self.set_name}: {objective.value}")
         for policy in self.policies:
             for scenario in self.scenarios:
                 risk = self.separate[objective][policy][scenario]
+                if risk.is_gap:
+                    continue
                 plot.add_point(policy, scenario, risk.volatility, risk.performance)
         return plot
 
@@ -206,10 +256,10 @@ class GridAnalysis:
         plot = RiskPlot(title=title or f"{self.model} Set {self.set_name}: {names}")
         for policy in self.policies:
             for scenario in self.scenarios:
-                combined: IntegratedRisk = integrated_risk(
-                    {o: self.separate[o][policy][scenario] for o in objectives},
-                    weights,
-                )
+                separate = {o: self.separate[o][policy][scenario] for o in objectives}
+                if any(risk.is_gap for risk in separate.values()):
+                    continue  # degraded cell: no point to plot
+                combined: IntegratedRisk = integrated_risk(separate, weights)
                 plot.add_point(policy, scenario, combined.volatility, combined.performance)
         return plot
 

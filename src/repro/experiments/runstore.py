@@ -21,13 +21,25 @@ Layout of a cache directory::
     <cache_dir>/
       index.jsonl                  append-only per-run metadata lines
       runs/<digest[:2]>/<digest>.json
+      failures.jsonl               append-only failure journal (one JSON
+                                   line per exhausted-retries failure)
+      quarantine/<digest>.json     corrupt/foreign run documents, moved
+                                   aside for diagnosis instead of deleted
 
 Because keys are content hashes, *resume is free*: rerunning any grid
-against a populated cache dir only simulates the missing keys.  The perf
-registry sees every store interaction under the ``runstore.*`` counters
-(``runstore.hits``, ``runstore.misses``, ``runstore.disk_hits``,
+against a populated cache dir only simulates the missing keys.  Failed
+cells are first-class too: the supervisor journals them under the same
+digest (:meth:`RunStore.record_failure`), and a later successful ``put``
+of the digest resolves the failure — the journal stays append-only, the
+run document wins.  A corrupt or truncated run document is evidence of a
+crash: it is *quarantined* (moved into ``quarantine/``), counted under
+``runstore.quarantined``, and treated as a miss.
+
+The perf registry sees every store interaction under the ``runstore.*``
+counters (``runstore.hits``, ``runstore.misses``, ``runstore.disk_hits``,
 ``runstore.bytes_written``, ``runstore.bytes_read``,
-``runstore.corrupt_skipped``).
+``runstore.corrupt_skipped``, ``runstore.quarantined``,
+``runstore.failures_recorded``).
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ from pathlib import Path
 from typing import Iterator, Optional, Union
 
 from repro.core.objectives import OBJECTIVES, Objective, ObjectiveSet
+from repro.experiments.errors import FailureRecord
 from repro.experiments.scenarios import ExperimentConfig
 from repro.faults.config import FaultConfig
 from repro.perf.registry import PERF
@@ -198,6 +211,7 @@ class RunStore:
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
         self._memory: dict[str, ObjectiveSet] = {}
+        self._failures: dict[str, FailureRecord] = {}
         self.hits = 0
         self.misses = 0
         self.cache_dir: Optional[Path] = None
@@ -257,12 +271,38 @@ class RunStore:
         except (StoreError, ValueError):
             # Truncated write, manual edit, or a foreign/newer document:
             # resume by re-simulating rather than failing the whole grid.
+            # The bad bytes are evidence of a crash — move them aside for
+            # diagnosis instead of silently overwriting on the next put.
+            self._quarantine(path)
             if PERF.enabled:
                 PERF.incr("runstore.corrupt_skipped")
             return None
         if PERF.enabled:
             PERF.incr("runstore.bytes_read", len(text.encode("utf-8")))
         return value
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt run document into ``<cache_dir>/quarantine/``.
+
+        Collisions (the same digest quarantined twice across crashes) get a
+        numeric suffix so no evidence is ever overwritten.  Failure to move
+        (e.g. the file vanished, permissions) degrades to the historical
+        treat-as-miss behaviour.
+        """
+        assert self.cache_dir is not None
+        qdir = self.cache_dir / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            target = qdir / path.name
+            n = 0
+            while target.exists():
+                n += 1
+                target = qdir / f"{path.name}.{n}"
+            os.replace(path, target)
+        except OSError:
+            return
+        if PERF.enabled:
+            PERF.incr("runstore.quarantined")
 
     # -- storage -------------------------------------------------------------
     def put(
@@ -275,6 +315,8 @@ class RunStore:
         """Record a finished run (checkpointing it to disk when configured)."""
         key = RunKey(config, policy, model)
         self._memory[key.digest] = value
+        # A finished run resolves any journaled failure of the same cell.
+        self._failures.pop(key.digest, None)
         path = self.run_path(key)
         if path is None:
             return
@@ -301,6 +343,53 @@ class RunStore:
         )
         with open(self.cache_dir / "index.jsonl", "a", encoding="utf-8") as fh:
             fh.write(line + "\n")
+
+    # -- failure journal -----------------------------------------------------
+    def record_failure(self, record: FailureRecord) -> None:
+        """Journal a run that exhausted its retries.
+
+        The journal (``failures.jsonl``) is append-only and shares the
+        run documents' content addressing: the record's ``digest`` *is*
+        the cell's :class:`RunKey` digest, so resumes, degrade-mode
+        assembly, and humans grepping the journal all name the same
+        artefact.  Appends are atomic at the line level (a single
+        ``write`` of one ``\\n``-terminated line), matching the
+        index-file discipline.
+        """
+        self._failures[record.digest] = record
+        if self.cache_dir is not None:
+            line = json.dumps(record.to_dict(), sort_keys=True)
+            with open(self.cache_dir / "failures.jsonl", "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+        if PERF.enabled:
+            PERF.incr("runstore.failures_recorded")
+
+    def failures(self) -> dict[str, FailureRecord]:
+        """Unresolved failures: latest journal record per digest.
+
+        A digest whose run document exists (in memory or on disk) is
+        resolved — a retry or another shard eventually succeeded — and is
+        excluded, so the journal being append-only never makes a healthy
+        grid look degraded.  Malformed journal lines are skipped.
+        """
+        records = dict(self._failures)
+        if self.cache_dir is not None:
+            try:
+                lines = (self.cache_dir / "failures.jsonl").read_text().splitlines()
+            except OSError:
+                lines = []
+            for line in lines:
+                try:
+                    record = FailureRecord.from_dict(json.loads(line))
+                except ValueError:
+                    continue
+                records[record.digest] = record
+        resolved = self._memory.keys() | self.disk_digests()
+        return {d: r for d, r in records.items() if d not in resolved}
+
+    def failure_for(self, digest: str) -> Optional[FailureRecord]:
+        """The unresolved failure journaled for one digest, if any."""
+        return self.failures().get(digest)
 
     # -- introspection -------------------------------------------------------
     def __len__(self) -> int:
@@ -336,5 +425,6 @@ class RunStore:
             "misses": self.misses,
             "memory_runs": len(self._memory),
             "disk_runs": len(on_disk),
+            "failures": len(self.failures()),
             "cache_dir": str(self.cache_dir) if self.cache_dir else None,
         }

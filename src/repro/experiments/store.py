@@ -42,19 +42,31 @@ __all__ = [
 ]
 
 
+def _risk_pair(risk: SeparateRisk) -> list:
+    # Gap markers serialise as nulls: strict JSON has no NaN literal.
+    if risk.is_gap:
+        return [None, None]
+    return [risk.performance, risk.volatility]
+
+
 def grid_to_dict(grid: GridAnalysis) -> dict:
-    """A JSON-ready representation of a grid analysis."""
+    """A JSON-ready representation of a grid analysis.
+
+    Gap cells of a degraded grid become ``[null, null]`` pairs, and the
+    gap inventory rides along under ``"gaps"`` (omitted when complete),
+    so a saved degraded grid is self-describing.
+    """
     separate = {
         objective.value: {
             policy: {
-                scenario: [risk.performance, risk.volatility]
+                scenario: _risk_pair(risk)
                 for scenario, risk in by_scenario.items()
             }
             for policy, by_scenario in grid.separate[objective].items()
         }
         for objective in Objective
     }
-    return {
+    doc = {
         "format": FORMAT,
         "version": VERSION,
         "model": grid.model,
@@ -63,6 +75,9 @@ def grid_to_dict(grid: GridAnalysis) -> dict:
         "scenarios": list(grid.scenarios),
         "separate": separate,
     }
+    if grid.gaps:
+        doc["gaps"] = [dict(gap) for gap in grid.gaps]
+    return doc
 
 
 def grid_from_dict(doc: dict) -> GridAnalysis:
@@ -78,11 +93,17 @@ def grid_from_dict(doc: dict) -> GridAnalysis:
             )
         raise StoreError(f"unsupported version {version!r}")
     by_value = {o.value: o for o in Objective}
+
+    def risk_from_pair(pair) -> SeparateRisk:
+        if pair[0] is None or pair[1] is None:
+            return SeparateRisk.gap()
+        return SeparateRisk(performance=pair[0], volatility=pair[1])
+
     try:
         separate = {
             by_value[obj_name]: {
                 policy: {
-                    scenario: SeparateRisk(performance=pair[0], volatility=pair[1])
+                    scenario: risk_from_pair(pair)
                     for scenario, pair in by_scenario.items()
                 }
                 for policy, by_scenario in policies.items()
@@ -95,6 +116,7 @@ def grid_from_dict(doc: dict) -> GridAnalysis:
             policies=tuple(doc["policies"]),
             scenarios=tuple(doc["scenarios"]),
             separate=separate,
+            gaps=tuple(dict(gap) for gap in doc.get("gaps", [])),
         )
     except (KeyError, IndexError, TypeError) as exc:
         raise StoreError(f"malformed grid document: {exc}") from exc

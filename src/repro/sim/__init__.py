@@ -9,13 +9,14 @@ behaviour — but it is a real substrate: everything in :mod:`repro.service`
 and :mod:`repro.cluster` runs on it.
 """
 
-from repro.sim.engine import Simulator, SimulationError
+from repro.sim.engine import SimBudgetExceeded, SimulationError, Simulator
 from repro.sim.events import EventHandle, Priority
 from repro.sim.rng import RngStreams
 
 __all__ = [
     "Simulator",
     "SimulationError",
+    "SimBudgetExceeded",
     "EventHandle",
     "Priority",
     "RngStreams",

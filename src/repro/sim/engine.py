@@ -21,6 +21,22 @@ class SimulationError(RuntimeError):
     """Raised on scheduling into the past or on a corrupted event list."""
 
 
+class SimBudgetExceeded(SimulationError):
+    """The watchdog budget tripped: the run executed more events (or
+    advanced further in simulation time) than its budget allows.
+
+    Raised *instead of spinning forever* on a pathological configuration;
+    the event that would exceed the budget is left unexecuted, so the
+    exception is catchable and the simulator state remains consistent.
+    The experiment supervisor classifies it as a retryable timeout
+    (:class:`repro.experiments.errors.RunTimeout`).
+    """
+
+    def __init__(self, message: str, budget: str = "") -> None:
+        super().__init__(message)
+        self.budget = budget  #: which budget tripped, e.g. "max_events=1000"
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -44,6 +60,11 @@ class Simulator:
         self._running = False
         self.events_executed = 0
         self.events_scheduled = 0
+        # Watchdog budgets (see set_budget); _budget_active keeps the
+        # no-budget fast path to a single falsy test per event.
+        self._budget_events: Optional[int] = None
+        self._budget_time: Optional[float] = None
+        self._budget_active = False
         # Single-attribute alias so the disabled instrumentation path is one
         # load + one falsy test per event (see repro.perf.registry).
         self._perf = PERF
@@ -52,6 +73,46 @@ class Simulator:
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    def set_budget(
+        self,
+        max_events: Optional[int] = None,
+        max_sim_time: Optional[float] = None,
+    ) -> None:
+        """Arm (or disarm) the watchdog.
+
+        ``max_events`` caps the total events executed over the simulator's
+        lifetime; ``max_sim_time`` caps how far the clock may advance.  When
+        the *next* event would exceed either budget, :meth:`step` raises
+        :class:`SimBudgetExceeded` before executing it — a hung scenario
+        becomes a classified, catchable failure instead of a dead worker.
+        Passing ``None`` for both disarms the watchdog.
+        """
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        if max_sim_time is not None and max_sim_time <= 0:
+            raise ValueError(f"max_sim_time must be positive, got {max_sim_time}")
+        self._budget_events = max_events
+        self._budget_time = max_sim_time
+        self._budget_active = max_events is not None or max_sim_time is not None
+
+    def _check_budget(self, next_time: float) -> None:
+        if self._budget_events is not None and self.events_executed >= self._budget_events:
+            if self._perf.enabled:
+                self._perf.incr("sim.budget_exceeded")
+            raise SimBudgetExceeded(
+                f"event budget exhausted after {self.events_executed} events "
+                f"(sim time {self._now:.1f})",
+                budget=f"max_events={self._budget_events}",
+            )
+        if self._budget_time is not None and next_time > self._budget_time:
+            if self._perf.enabled:
+                self._perf.incr("sim.budget_exceeded")
+            raise SimBudgetExceeded(
+                f"sim-time budget exhausted: next event at t={next_time:.1f} "
+                f"exceeds {self._budget_time:.1f}",
+                budget=f"max_sim_time={self._budget_time}",
+            )
 
     def schedule(
         self,
@@ -119,6 +180,8 @@ class Simulator:
         self._drop_cancelled()
         if not self._heap:
             return False
+        if self._budget_active:
+            self._check_budget(self._heap[0].time)
         handle = heapq.heappop(self._heap)
         if handle.time < self._now:  # pragma: no cover - defensive
             raise SimulationError("event list corrupted: time went backwards")

@@ -12,10 +12,12 @@ Field reference: Feitelson's *Parallel Workloads Archive* SWF definition.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence, Union
 
+from repro.perf.registry import PERF
 from repro.workload.job import Job
 
 
@@ -60,6 +62,10 @@ class SWFError(ValueError):
     """Raised on malformed SWF content."""
 
 
+class SWFParseWarning(UserWarning):
+    """Emitted when a lenient parse (``on_error="skip"``) drops lines."""
+
+
 def _parse_line(line: str, lineno: int) -> list[float]:
     parts = line.split()
     if len(parts) < N_FIELDS:
@@ -71,13 +77,37 @@ def _parse_line(line: str, lineno: int) -> list[float]:
         raise SWFError(f"line {lineno}: non-numeric SWF field: {exc}") from exc
 
 
-def iter_swf_records(text: str) -> Iterator[list[float]]:
-    """Yield raw 18-element records from SWF text, skipping comments."""
+def iter_swf_records(text: str, on_error: str = "raise") -> Iterator[list[float]]:
+    """Yield raw 18-element records from SWF text, skipping comments.
+
+    ``on_error="raise"`` (default) propagates :class:`SWFError` on the first
+    malformed data line.  ``on_error="skip"`` drops malformed lines instead:
+    each skip increments the ``swf.lines_skipped`` perf counter, and one
+    summary :class:`SWFParseWarning` reports the total after the sweep —
+    real archive files occasionally carry a corrupt line or two, and a
+    lenient pass should not silently change the job count.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    skipped = 0
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith(";"):
             continue
-        yield _parse_line(line, lineno)
+        try:
+            yield _parse_line(line, lineno)
+        except SWFError:
+            if on_error == "raise":
+                raise
+            skipped += 1
+            if PERF.enabled:
+                PERF.incr("swf.lines_skipped")
+    if skipped:
+        warnings.warn(
+            f"skipped {skipped} malformed SWF line(s)",
+            SWFParseWarning,
+            stacklevel=2,
+        )
 
 
 def parse_header(text: str) -> SWFHeader:
@@ -132,14 +162,21 @@ def record_to_job(rec: Sequence[float]) -> Job | None:
     return job
 
 
-def parse_swf_text(text: str, last_n: int | None = None) -> list[Job]:
+def parse_swf_text(
+    text: str, last_n: int | None = None, on_error: str = "raise"
+) -> list[Job]:
     """Parse SWF text into jobs, optionally keeping only the last ``n``.
 
     The paper uses the *last* 5000 jobs of the SDSC SP2 trace; pass
     ``last_n=5000`` for the same selection.  Submit times are rebased so the
-    first kept job arrives at t=0.
+    first kept job arrives at t=0.  ``on_error="skip"`` tolerates malformed
+    data lines (see :func:`iter_swf_records`) instead of raising.
     """
-    jobs = [j for j in (record_to_job(r) for r in iter_swf_records(text)) if j]
+    jobs = [
+        j
+        for j in (record_to_job(r) for r in iter_swf_records(text, on_error))
+        if j
+    ]
     jobs.sort(key=lambda j: (j.submit_time, j.job_id))
     if last_n is not None:
         jobs = jobs[-last_n:]
@@ -150,9 +187,11 @@ def parse_swf_text(text: str, last_n: int | None = None) -> list[Job]:
     return jobs
 
 
-def parse_swf(path: Union[str, Path], last_n: int | None = None) -> list[Job]:
+def parse_swf(
+    path: Union[str, Path], last_n: int | None = None, on_error: str = "raise"
+) -> list[Job]:
     """Parse an SWF file from disk (see :func:`parse_swf_text`)."""
-    return parse_swf_text(Path(path).read_text(), last_n=last_n)
+    return parse_swf_text(Path(path).read_text(), last_n=last_n, on_error=on_error)
 
 
 def job_to_record(job: Job) -> list[float]:

@@ -189,6 +189,80 @@ def test_grid_output_writes_grid_document(tmp_path, capsys):
     assert "grid analysis written to" in out
 
 
+GRID_BASE = ("grid", "--model", "bid", "--policies", "FCFS-BF", "Libra",
+             "--scenario", "job mix", "--jobs", "20", "--procs", "16")
+FORCE_FAILURES = ("--max-sim-events", "10", "--max-retries", "0")
+
+
+def test_grid_on_error_abort_exits_nonzero_naming_digests(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    code, out, err = run_cli(
+        capsys, *GRID_BASE, *FORCE_FAILURES, "--cache-dir", store_dir,
+    )
+    assert code == 1  # abort is the default
+    assert "failed after retries" in err
+    assert "[timeout]" in err
+    assert "--on-error degrade" in err
+    assert "grid complete" not in out
+    # Every failure was journaled in the store.
+    journal = (tmp_path / "store" / "failures.jsonl").read_text().splitlines()
+    assert len(journal) == 12
+
+
+def test_grid_on_error_degrade_assembles_with_gap_markers(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    out_path = tmp_path / "grid.json"
+    code, out, err = run_cli(
+        capsys, *GRID_BASE, *FORCE_FAILURES, "--cache-dir", store_dir,
+        "--on-error", "degrade", "--output", str(out_path),
+    )
+    assert code == 0
+    assert "grid degraded" in out
+    assert "12 gap cells" in out
+    assert "ranking skipped" in out
+    assert "timeout" in out  # the gaps table names each failure kind
+    import json
+
+    doc = json.loads(out_path.read_text())
+    assert len(doc["gaps"]) == 12
+    assert [None, None] in [
+        pair
+        for by_policy in doc["separate"].values()
+        for by_scenario in by_policy.values()
+        for pair in by_scenario.values()
+    ]
+
+
+def test_grid_retry_flags_recover_transient_watchdog_margin(tmp_path, capsys):
+    # A generous watchdog never fires: the same flags, minus the poison.
+    code, out, _ = run_cli(
+        capsys, *GRID_BASE, "--max-sim-events", "1000000",
+        "--run-timeout", "300", "--on-error", "degrade",
+    )
+    assert code == 0
+    assert "grid complete" in out
+
+
+def test_trace_lenient_skips_malformed_lines(tmp_path, capsys):
+    import warnings
+
+    from repro.workload.swf import SWFError
+
+    path = tmp_path / "t.swf"
+    write_swf(generate_trace(SDSC_SP2.scaled(30), rng=1), path)
+    with open(path, "a") as fh:
+        fh.write("garbage line that is not SWF\n")
+    with pytest.raises(SWFError):  # strict mode propagates the parse error
+        run_cli(capsys, "trace", "--file", str(path))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        code, out, _ = run_cli(
+            capsys, "trace", "--file", str(path), "--lenient"
+        )
+    assert code == 0
+    assert "n_jobs" in out
+
+
 def test_grid_argument_validation(tmp_path, capsys):
     code, _, err = run_cli(capsys, "grid", "--policies", "NotAPolicy")
     assert code == 2

@@ -149,6 +149,93 @@ def test_stats_summary(tmp_path):
     assert RunStore().stats()["cache_dir"] is None
 
 
+# -- quarantine of corrupt documents -------------------------------------------
+
+
+def test_corrupt_document_is_quarantined_for_diagnosis(tmp_path):
+    from repro.perf import capture as perf_capture
+
+    store = RunStore(tmp_path)
+    store.put(CONFIG, "FCFS-BF", "bid", OBJS)
+    path = store.run_path(RunKey(CONFIG, "FCFS-BF", "bid"))
+    bad_bytes = path.read_text()[:25]
+    path.write_text(bad_bytes)
+    fresh = RunStore(tmp_path)
+    with perf_capture() as perf:
+        assert fresh.get(CONFIG, "FCFS-BF", "bid") is None
+        counters = dict(perf.counters)
+    assert counters.get("runstore.quarantined") == 1
+    # The evidence moved aside rather than being deleted or left in place.
+    assert not path.exists()
+    quarantined = tmp_path / "quarantine" / path.name
+    assert quarantined.read_text() == bad_bytes
+
+
+def test_quarantine_never_overwrites_earlier_evidence(tmp_path):
+    store = RunStore(tmp_path)
+    path = store.run_path(RunKey(CONFIG, "FCFS-BF", "bid"))
+    for generation in ("first crash", "second crash"):
+        store.put(CONFIG, "FCFS-BF", "bid", OBJS)
+        path.write_text(generation)
+        assert RunStore(tmp_path).get(CONFIG, "FCFS-BF", "bid") is None
+    qdir = tmp_path / "quarantine"
+    contents = {p.read_text() for p in qdir.iterdir()}
+    assert contents == {"first crash", "second crash"}
+
+
+# -- failure journal -----------------------------------------------------------
+
+
+def make_failure(digest: str, kind: str = "timeout") -> "FailureRecord":
+    from repro.experiments.errors import FailureRecord
+
+    return FailureRecord(
+        digest=digest, policy="FCFS-BF", model="bid",
+        kind=kind, message="event budget exhausted", attempts=3,
+    )
+
+
+def test_failure_journal_roundtrips_across_instances(tmp_path):
+    digest = RunKey(CONFIG, "FCFS-BF", "bid").digest
+    store = RunStore(tmp_path)
+    store.record_failure(make_failure(digest))
+    assert (tmp_path / "failures.jsonl").exists()
+    fresh = RunStore(tmp_path)
+    record = fresh.failures()[digest]
+    assert record.kind == "timeout"
+    assert record.attempts == 3
+    assert fresh.failure_for(digest) == record
+    assert fresh.stats()["failures"] == 1
+
+
+def test_successful_put_resolves_a_journaled_failure(tmp_path):
+    digest = RunKey(CONFIG, "FCFS-BF", "bid").digest
+    store = RunStore(tmp_path)
+    store.record_failure(make_failure(digest))
+    store.put(CONFIG, "FCFS-BF", "bid", OBJS)
+    # The journal stays append-only, but the run document wins …
+    assert digest in (tmp_path / "failures.jsonl").read_text()
+    assert store.failures() == {}
+    # … including from a cold store that only sees the disk state.
+    assert RunStore(tmp_path).failures() == {}
+
+
+def test_latest_journal_record_wins_and_bad_lines_are_skipped(tmp_path):
+    digest = RunKey(CONFIG, "FCFS-BF", "bid").digest
+    store = RunStore(tmp_path)
+    store.record_failure(make_failure(digest, kind="crash"))
+    store.record_failure(make_failure(digest, kind="timeout"))
+    with open(tmp_path / "failures.jsonl", "a") as fh:
+        fh.write("not json at all\n")
+    assert RunStore(tmp_path).failures()[digest].kind == "timeout"
+
+
+def test_memory_only_store_journals_in_memory():
+    store = RunStore()
+    store.record_failure(make_failure("f" * 64))
+    assert store.failures()["f" * 64].kind == "timeout"
+
+
 # -- schema migration (schema 1 → 2: the nested faults block) ------------------
 
 

@@ -195,6 +195,65 @@ def test_simulator_not_reentrant():
         sim.run()
 
 
+def test_budget_max_events_raises_catchably():
+    from repro.sim import SimBudgetExceeded
+
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, i)
+    sim.set_budget(max_events=4)
+    with pytest.raises(SimBudgetExceeded) as info:
+        sim.run()
+    assert fired == [0, 1, 2, 3]  # the budget-tripping event never executes
+    assert info.value.budget == "max_events=4"
+    assert isinstance(info.value, SimulationError)  # catchable as the base
+
+
+def test_budget_max_sim_time_raises_before_overrunning_event():
+    from repro.sim import SimBudgetExceeded
+
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "in-budget")
+    sim.schedule(50.0, fired.append, "over-budget")
+    sim.set_budget(max_sim_time=10.0)
+    with pytest.raises(SimBudgetExceeded) as info:
+        sim.run()
+    assert fired == ["in-budget"]
+    assert info.value.budget == "max_sim_time=10.0"
+
+
+def test_budget_validation_and_disarm():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.set_budget(max_events=0)
+    with pytest.raises(ValueError):
+        sim.set_budget(max_sim_time=-1.0)
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.set_budget(max_events=3)
+    sim.set_budget()  # None + None disarms the watchdog
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_run_single_watchdog_raises_budget_exceeded():
+    from repro.experiments.runner import run_single
+    from repro.experiments.scenarios import ExperimentConfig
+    from repro.sim import SimBudgetExceeded
+
+    config = ExperimentConfig(n_jobs=20, total_procs=16)
+    with pytest.raises(SimBudgetExceeded):
+        run_single(config, "FCFS-BF", "bid", max_sim_events=10)
+    # Unbudgeted, the identical run completes — budgets are execution
+    # knobs, never part of the run's identity.
+    objectives = run_single(config, "FCFS-BF", "bid")
+    assert objectives == run_single(
+        config, "FCFS-BF", "bid", max_sim_events=10**9
+    )
+
+
 def test_event_handle_ordering():
     a = EventHandle(1.0, 0, 0, lambda: None)
     b = EventHandle(1.0, 0, 1, lambda: None)

@@ -73,6 +73,39 @@ def test_non_numeric_field_raises():
         list(iter_swf_records("1 0 0 abc 1 -1 -1 1 200\n"))
 
 
+CORRUPT = SAMPLE + "oops not-a-job line\n2e5 garbage\n"
+
+
+def test_lenient_mode_skips_malformed_lines_with_counted_warning():
+    from repro.perf import capture as perf_capture
+    from repro.workload.swf import SWFParseWarning
+
+    with pytest.raises(SWFError):
+        parse_swf_text(CORRUPT)  # strict by default
+    with perf_capture() as perf:
+        with pytest.warns(SWFParseWarning, match="2 malformed"):
+            jobs = parse_swf_text(CORRUPT, on_error="skip")
+        counters = dict(perf.counters)
+    # Same jobs as the clean sample: only the bad lines were dropped.
+    assert [j.job_id for j in jobs] == [j.job_id for j in parse_swf_text(SAMPLE)]
+    assert counters.get("swf.lines_skipped") == 2
+
+
+def test_lenient_mode_rejects_unknown_policy():
+    with pytest.raises(ValueError, match="on_error"):
+        list(iter_swf_records(SAMPLE, on_error="explode"))
+
+
+def test_lenient_mode_through_file_api(tmp_path):
+    path = tmp_path / "corrupt.swf"
+    path.write_text(CORRUPT)
+    from repro.workload.swf import SWFParseWarning
+
+    with pytest.warns(SWFParseWarning):
+        jobs = parse_swf(path, on_error="skip")
+    assert len(jobs) == 2
+
+
 def test_parse_header():
     header = parse_header(SAMPLE)
     assert header.get("MaxProcs") == "128"
