@@ -185,7 +185,7 @@ class TimeSharedCluster:
         if PERF.enabled:
             PERF.incr("cluster.time.jobs_admitted")
             PERF.observe("cluster.time.committed_share", share)
-        self._reschedule_all()
+        self._reschedule(touched_nodes=state.nodes)
         return state
 
     # -- execution ---------------------------------------------------------
@@ -229,20 +229,87 @@ class TimeSharedCluster:
 
     def _reschedule_all(self) -> None:
         """Recompute every job's rate and (re)schedule its completion."""
+        self._reschedule()
+
+    def _reschedule(self, touched_nodes: Optional[Sequence[int]] = None) -> None:
+        """Recompute rates and (re)schedule completions.
+
+        With ``touched_nodes`` given in static mode, only jobs holding a
+        share slot on a touched node are recomputed: a static job's rate
+        is a function of the share totals on its own nodes, so an
+        admit/complete/failure can only move the rates of its node-mates.
+        Everyone else keeps their pending completion event — in a large
+        cluster that turns the per-event O(jobs) cancel/reschedule churn
+        into O(co-located jobs).
+
+        Dynamic mode always recomputes everything: required rates drift
+        with the clock, so no job's rate is provably unchanged.
+        """
         if PERF.enabled:
             PERF.incr("cluster.time.reschedules")
             PERF.observe("cluster.time.active_jobs", len(self._states))
-        rates = self._rates_snapshot()
-        for state in self._states.values():
-            state.rate = rates[state.job.job_id]
+        states = self._states
+        if touched_nodes is None or self.mode is not ShareMode.STATIC:
+            affected = None  # everyone
+        else:
+            affected = set()
+            for node in touched_nodes:
+                affected |= self.node_jobs[node]
+            if not affected:
+                return
+        if affected is None:
+            rates = self._rates_snapshot()
+        else:
+            rates = self._static_rates_for(affected)
+        # Iterate the state dict (admission order) rather than the affected
+        # set so completion events are re-issued in the same deterministic
+        # order a full reschedule would use.
+        for state in states.values():
+            jid = state.job.job_id
+            if affected is not None and jid not in affected:
+                continue
+            state.rate = rates[jid]
             if state.completion is not None:
                 state.completion.cancel()
             if state.rate <= 0.0:  # pragma: no cover - MIN_DYNAMIC_SHARE forbids
-                raise RuntimeError(f"job {state.job.job_id} starved (rate 0)")
+                raise RuntimeError(f"job {jid} starved (rate 0)")
             eta = state.remaining_work / state.rate
             state.completion = self.sim.schedule(
                 eta, self._complete, state, priority=Priority.COMPLETION
             )
+
+    def _static_rates_for(self, job_ids: set[int]) -> dict[int, float]:
+        """Static-mode rates for ``job_ids`` only.
+
+        Per-node share totals are summed in the same ``node_jobs`` set
+        order as :meth:`_rates_snapshot`, so the floats are identical to a
+        full recomputation — the restriction changes *which* jobs are
+        computed, never their values.
+        """
+        states = self._states
+        node_jobs = self.node_jobs
+        node_cache: dict[int, tuple[float, int]] = {}
+        rates: dict[int, float] = {}
+        for jid in job_ids:
+            state = states[jid]
+            share = state.share
+            rate = 1.0
+            for node in state.nodes:
+                cached = node_cache.get(node)
+                if cached is None:
+                    members = node_jobs[node]
+                    total = sum(states[j].share for j in members)
+                    cached = node_cache[node] = (total, len(members))
+                total, k = cached
+                if total <= 1.0 + SHARE_EPS:
+                    bonus = max(1.0 - total, 0.0) / k
+                    r = min(share + bonus, 1.0)
+                else:
+                    r = share / total
+                if r < rate:
+                    rate = r
+            rates[jid] = rate
+        return rates
 
     def _complete(self, state: TSJobState) -> None:
         self._sync_progress()
@@ -260,7 +327,7 @@ class TimeSharedCluster:
         state.completion = None
         if PERF.enabled:
             PERF.incr("cluster.time.jobs_completed")
-        self._reschedule_all()
+        self._reschedule(touched_nodes=state.nodes)
         state._on_finish(state.job, self.sim.now)  # type: ignore[attr-defined]
 
     def committed_seconds_in_window(self, node: int, window: float) -> float:
@@ -316,7 +383,10 @@ class TimeSharedCluster:
             killed.append((state.job, progress))
         if PERF.enabled and killed:
             PERF.incr("cluster.time.jobs_failed", len(killed))
-        self._reschedule_all()
+        touched: set[int] = set()
+        for state in victims:
+            touched.update(state.nodes)
+        self._reschedule(touched_nodes=sorted(touched))
         return killed
 
     def repair_node(self, node_id: int) -> None:

@@ -10,9 +10,11 @@ same three stages:
 2. :func:`execute_plan` dedupes the plan grid-wide against a
    :class:`~repro.experiments.runstore.RunStore`, optionally keeps only
    one shard of the misses (``shard=(i, n)`` for multi-machine fan-out),
-   simulates the remainder serially or over a process pool, and
-   checkpoints every completed run to the store *immediately* — an
-   interrupted grid therefore resumes by construction.
+   simulates the remainder serially or over a process pool (in *batches*
+   — one future per chunk of runs, forked workers inheriting the warmed
+   trace memo — so dispatch overhead is amortised), and checkpoints
+   completed runs to the store as each run (serial) or batch (pool)
+   finishes — an interrupted grid therefore resumes by construction.
 3. :func:`assemble_grid` re-reads the store and reduces to a
    :class:`~repro.experiments.runner.GridAnalysis` exactly as the serial
    runner always has (per-scenario normalisation, Eqs. 5–6), so serial,
@@ -37,6 +39,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import multiprocessing
 import random
 import signal
 import threading
@@ -127,6 +130,11 @@ class ExecutionPolicy:
     on_error: str = "abort"
     #: supervisor poll granularity (straggler deadline checks), seconds.
     poll_interval: float = 0.25
+    #: runs dispatched to a pool worker per submission.  ``None`` sizes
+    #: batches automatically (four batches per worker), amortising the
+    #: per-future pickling/IPC round trip that made small grids slower in
+    #: parallel than serial.  ``1`` restores one-future-per-run dispatch.
+    batch_size: Optional[int] = None
     clock: Callable[[], float] = time.monotonic
     sleep: Callable[[float], None] = time.sleep
 
@@ -137,6 +145,8 @@ class ExecutionPolicy:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.run_timeout is not None and self.run_timeout <= 0:
             raise ValueError(f"run_timeout must be positive, got {self.run_timeout}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
 
     @property
     def max_attempts(self) -> int:
@@ -272,6 +282,58 @@ def _worker(
     return item, objectives, delta, error
 
 
+def _worker_batch(
+    items: Sequence[WorkItem],
+    run_timeout: Optional[float] = None,
+    max_sim_events: Optional[int] = None,
+    max_sim_time: Optional[float] = None,
+) -> list[tuple[WorkItem, Optional[ObjectiveSet], Optional[dict], Optional[dict]]]:
+    """Simulate a batch of work items in one worker process.
+
+    One future per batch instead of one per run: the per-item
+    :func:`_worker` semantics (wall-clock alarm, error-as-data, perf
+    delta, chaos hook) are unchanged, but the pickling/IPC round trip is
+    paid once per batch.  A worker that dies mid-batch loses the whole
+    batch's results — the supervisor splits the batch into singletons to
+    isolate the culprit, so an item is never charged an attempt for a
+    batchmate's crash.
+    """
+    return [_worker(item, run_timeout, max_sim_events, max_sim_time) for item in items]
+
+
+def _chunk_batches(
+    mine: Sequence[tuple[WorkItem, str]],
+    n_workers: int,
+    policy: ExecutionPolicy,
+) -> list[list[tuple[WorkItem, str]]]:
+    """Split the miss list into dispatch batches, preserving order.
+
+    Auto-sizing targets four batches per worker: large enough to amortise
+    dispatch overhead, small enough that checkpointing stays reasonably
+    incremental and a straggling batch cannot idle the other workers for
+    long.
+    """
+    size = policy.batch_size
+    if size is None:
+        size = max(1, math.ceil(len(mine) / (n_workers * 4)))
+    return [list(mine[i : i + size]) for i in range(0, len(mine), size)]
+
+
+def _new_pool(n_workers: int) -> ProcessPoolExecutor:
+    """A process pool that forks where the platform allows it.
+
+    Forked workers inherit the parent's warmed trace memo
+    (:func:`repro.experiments.runner.warm_trace_memo`) by copy-on-write,
+    so no worker re-synthesises the base trace; spawn platforms fall back
+    to the default start method and pay one synthesis per worker.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=multiprocessing.get_context("fork")
+        )
+    return ProcessPoolExecutor(max_workers=n_workers)  # pragma: no cover
+
+
 class _Supervisor:
     """Shared retry/failure bookkeeping of the serial and pool paths."""
 
@@ -357,27 +419,37 @@ def _execute_pool(
 ) -> _Supervisor:
     """The supervised process-pool path.
 
-    Invariants: at most ``n_workers`` items are in flight (so wall-clock
-    deadlines start ticking when a run actually starts); every completed
-    run is checkpointed to the store immediately; a broken pool is
-    rebuilt and only the in-flight items are resubmitted; retries wait
-    out their backoff in a delay queue without blocking the supervisor.
+    Dispatch is *batched* (see :attr:`ExecutionPolicy.batch_size`): the
+    miss list is chunked up front, each batch is one future, and every
+    run in a completed batch is checkpointed when the batch lands.
+    Invariants: at most ``n_workers`` batches are in flight; a broken
+    pool is rebuilt and only the in-flight batches are resubmitted; a
+    multi-run batch that crashes or straggles is split into singletons
+    *without charging attempts* (only the culprit singleton is charged on
+    its own rerun — batchmates are innocent); retries re-enter as
+    singletons after waiting out their backoff in a delay queue.
     """
+    from repro.experiments.runner import warm_trace_memo
+
     supervisor = _Supervisor(store, policy)
-    queue: deque[tuple[WorkItem, str]] = deque(mine)
-    #: backoff heap: (ready_time, seq, item, digest)
+    # Fork-once: synthesise the base traces in the parent *before* the
+    # pool exists, so forked workers inherit the warm memo.
+    warm_trace_memo([item for item, _ in mine])
+    queue: deque[list[tuple[WorkItem, str]]] = deque(
+        _chunk_batches(mine, n_workers, policy)
+    )
+    #: backoff heap: (ready_time, seq, item, digest) — retries are singletons.
     delayed: list[tuple[float, int, WorkItem, str]] = []
     seq = 0
-    inflight: dict = {}  # future -> (item, digest, deadline)
-    pool = ProcessPoolExecutor(max_workers=n_workers)
+    inflight: dict = {}  # future -> (batch, deadline)
+    pool = _new_pool(n_workers)
 
-    def submit(entry: tuple[WorkItem, str]) -> bool:
+    def submit(batch: list[tuple[WorkItem, str]]) -> bool:
         nonlocal pool
-        item, digest = entry
         try:
             future = pool.submit(
-                _worker,
-                item,
+                _worker_batch,
+                [item for item, _ in batch],
                 policy.run_timeout,
                 policy.max_sim_events,
                 policy.max_sim_time,
@@ -385,60 +457,90 @@ def _execute_pool(
         except (BrokenProcessPool, RuntimeError):
             # The pool broke between completions; rebuild and retry the
             # submission on the fresh pool.
-            queue.appendleft(entry)
+            queue.appendleft(batch)
             rebuild()
             return False
         deadline = None
         if policy.straggler_deadline() is not None:
-            deadline = policy.clock() + policy.straggler_deadline()
-        inflight[future] = (item, digest, deadline)
+            # The in-worker alarm is per run; the supervisor's deadline
+            # covers the whole batch.
+            deadline = policy.clock() + policy.straggler_deadline() * len(batch)
+        inflight[future] = (batch, deadline)
+        if PERF.enabled:
+            PERF.incr("pipeline.batches_dispatched")
         return True
 
     def rebuild() -> None:
         nonlocal pool
         _kill_pool(pool)
-        # In-flight futures died with the pool: resubmit their items.
-        for item, digest, _ in inflight.values():
-            queue.append((item, digest))
+        # In-flight futures died with the pool: resubmit their batches.
+        for batch, _ in inflight.values():
+            queue.append(batch)
         inflight.clear()
-        pool = ProcessPoolExecutor(max_workers=n_workers)
+        pool = _new_pool(n_workers)
         if PERF.enabled:
             PERF.incr("pipeline.pool_rebuilds")
 
-    def handle_outcome(item: WorkItem, digest: str, future) -> None:
-        try:
-            _, objectives, perf_delta, error_doc = future.result()
-        except BrokenProcessPool:
-            # The worker running (or queued for) this future died.
-            error: Optional[RunError] = RunCrashed(
-                "worker process died (BrokenProcessPool) — "
-                "SIGKILL, OOM-kill, or segfault"
-            )
-            perf_delta = None
-        except Exception as exc:  # unpicklable result, executor internals
-            error = classify_failure(exc)
-            perf_delta = None
-        else:
-            error = error_from_dict(error_doc) if error_doc is not None else None
-        if perf_delta and PERF.enabled:
-            PERF.merge_counters(perf_delta)
-        if error is None:
-            store.put(item[0], item[1], item[2], objectives)
-            return
+    def split(batch: list[tuple[WorkItem, str]]) -> None:
+        """Resubmit a failed multi-run batch as singletons, uncharged."""
+        for entry in reversed(batch):
+            queue.appendleft([entry])
+        if PERF.enabled:
+            PERF.incr("pipeline.batch_splits")
+
+    def note(item: WorkItem, digest: str, error: RunError) -> None:
+        nonlocal seq
         if supervisor.note_failure(item, digest, error):
-            nonlocal seq
             ready = policy.clock() + policy.backoff_delay(
                 digest, supervisor.attempts[digest]
             )
             heapq.heappush(delayed, (ready, seq, item, digest))
             seq += 1
 
+    def handle_outcome(batch: list[tuple[WorkItem, str]], future) -> None:
+        try:
+            results = future.result()
+        except BrokenProcessPool:
+            # The worker running (or queued for) this future died.  A
+            # multi-run batch cannot tell which run was the culprit:
+            # split it and let the culprit's own singleton take the
+            # charge on its rerun.
+            if len(batch) > 1:
+                split(batch)
+                return
+            item, digest = batch[0]
+            note(
+                item,
+                digest,
+                RunCrashed(
+                    "worker process died (BrokenProcessPool) — "
+                    "SIGKILL, OOM-kill, or segfault"
+                ),
+            )
+            return
+        except Exception as exc:  # unpicklable result, executor internals
+            if len(batch) > 1:
+                split(batch)
+                return
+            item, digest = batch[0]
+            note(item, digest, classify_failure(exc))
+            return
+        for (item, digest), (_, objectives, perf_delta, error_doc) in zip(
+            batch, results
+        ):
+            if perf_delta and PERF.enabled:
+                PERF.merge_counters(perf_delta)
+            if error_doc is None:
+                store.put(item[0], item[1], item[2], objectives)
+            else:
+                note(item, digest, error_from_dict(error_doc))
+
     try:
         while queue or delayed or inflight:
             now = policy.clock()
             while delayed and delayed[0][0] <= now:
                 _, _, item, digest = heapq.heappop(delayed)
-                queue.append((item, digest))
+                queue.append([(item, digest)])
             while queue and len(inflight) < n_workers:
                 if not submit(queue.popleft()):
                     break
@@ -455,8 +557,8 @@ def _execute_pool(
                 return_when=FIRST_COMPLETED,
             )
             for future in done:
-                item, digest, _ = inflight.pop(future)
-                handle_outcome(item, digest, future)
+                batch, _ = inflight.pop(future)
+                handle_outcome(batch, future)
             # A BrokenProcessPool outcome dooms every other in-flight
             # future too; the executor marks itself broken when a worker
             # vanishes, so consult that flag rather than guessing.
@@ -466,17 +568,22 @@ def _execute_pool(
             # Straggler backstop: a worker stuck past its deadline (e.g.
             # wedged in C code where SIGALRM cannot fire) is evicted by
             # killing the pool; innocent in-flight items are resubmitted
-            # without being charged an attempt.
+            # without being charged an attempt, and a multi-run batch is
+            # split so only the actual straggler is ever charged.
             now = policy.clock()
             expired = [
                 future
-                for future, (_, _, deadline) in inflight.items()
+                for future, (_, deadline) in inflight.items()
                 if deadline is not None and now > deadline
             ]
             if expired:
                 for future in expired:
-                    item, digest, _ = inflight.pop(future)
-                    if supervisor.note_failure(
+                    batch, _ = inflight.pop(future)
+                    if len(batch) > 1:
+                        split(batch)
+                        continue
+                    item, digest = batch[0]
+                    note(
                         item,
                         digest,
                         RunTimeout(
@@ -484,12 +591,7 @@ def _execute_pool(
                             f"({policy.straggler_deadline():g}s)",
                             budget=f"run_timeout={policy.run_timeout:g}",
                         ),
-                    ):
-                        ready = policy.clock() + policy.backoff_delay(
-                            digest, supervisor.attempts[digest]
-                        )
-                        heapq.heappush(delayed, (ready, seq, item, digest))
-                        seq += 1
+                    )
                 rebuild()
     except KeyboardInterrupt:
         # Leave no zombies and keep the store consistent: everything

@@ -61,6 +61,32 @@ def _base_trace(seed: int, n_jobs: int, max_procs: int) -> tuple[Job, ...]:
     return jobs
 
 
+def warm_trace_memo(items) -> int:
+    """Pre-synthesise the base traces a set of work items will need.
+
+    Called by the pool executor *before* it forks workers: the traces
+    land in ``_TRACE_MEMO`` in the parent, so every forked worker
+    inherits them by copy-on-write instead of each synthesising its own.
+    ``items`` is any iterable of ``(config, policy, model)`` work items;
+    at most ``_TRACE_MEMO_MAX`` distinct traces are warmed (warming more
+    would just evict earlier entries).  Returns the number warmed.
+    """
+    keys: list[tuple[int, int, int]] = []
+    seen: set[tuple[int, int, int]] = set()
+    for config, _policy, _model in items:
+        key = (
+            config.seed,
+            config.n_jobs,
+            min(SDSC_SP2.max_procs, config.total_procs),
+        )
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+    for key in keys[:_TRACE_MEMO_MAX]:
+        _base_trace(*key)
+    return min(len(keys), _TRACE_MEMO_MAX)
+
+
 def build_workload(config: ExperimentConfig) -> list[Job]:
     """Materialise the job list a configuration describes.
 

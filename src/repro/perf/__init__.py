@@ -13,6 +13,7 @@ Instrumentation is off by default; see :func:`enable` /
 from repro.perf.registry import (
     PERF,
     PerfRegistry,
+    RingBuffer,
     StreamingStat,
     capture,
     disable,
@@ -25,6 +26,7 @@ from repro.perf.registry import (
 __all__ = [
     "PERF",
     "PerfRegistry",
+    "RingBuffer",
     "StreamingStat",
     "capture",
     "disable",

@@ -13,8 +13,13 @@ Three primitive kinds:
 - **timers** — accumulated wall-clock time per name, recorded either via
   the :meth:`PerfRegistry.timeit` context manager or :meth:`add_time`.
 - **histograms** — streaming summaries (count/mean/min/max/std) of
-  per-observation values such as event dispatch latency or heap depth.
+  per-observation values such as FEL depth at run boundaries.
   No buckets are kept; the footprint per name is five floats.
+- **rings** — fixed-capacity ring buffers of *sampled* observations
+  (``sim.dispatch_latency_s`` …).  Hot paths record one observation every
+  :attr:`PerfRegistry.sample_interval` events, so the instrumented cost is
+  amortised to a fraction of a ``perf_counter()`` call per event while the
+  ring keeps both lifetime aggregates and the most recent window.
 
 Registry methods always record when called directly — the *callers* are
 responsible for the ``enabled`` guard.  That keeps tests and the benchmark
@@ -72,16 +77,82 @@ class StreamingStat:
         }
 
 
-class PerfRegistry:
-    """A named collection of counters, timers, and histograms."""
+class RingBuffer:
+    """Fixed-capacity buffer of sampled observations.
 
-    __slots__ = ("enabled", "counters", "timers", "histograms", "_started")
+    Keeps lifetime aggregates (``count``/``total``) for every value ever
+    recorded plus the most recent ``capacity`` raw values, oldest first.
+    Recording is O(1) with no allocation once the buffer is warm, which is
+    what lets the engine keep latency sampling on the hot path.
+    """
+
+    __slots__ = ("capacity", "count", "total", "_buf", "_pos")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.count = 0  #: total observations ever recorded
+        self.total = 0.0  #: sum of all observations ever recorded
+        self._buf: list[float] = []
+        self._pos = 0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        buf = self._buf
+        if len(buf) < self.capacity:
+            buf.append(value)
+        else:
+            buf[self._pos] = value
+            self._pos = (self._pos + 1) % self.capacity
+
+    @property
+    def mean(self) -> float:
+        """Lifetime mean over every recorded value (not just the window)."""
+        return self.total / self.count if self.count else 0.0
+
+    def values(self) -> list[float]:
+        """The retained window, oldest observation first."""
+        buf = self._buf
+        if len(buf) < self.capacity:
+            return list(buf)
+        return buf[self._pos:] + buf[: self._pos]
+
+    def as_dict(self) -> dict:
+        window = self.values()
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "window": len(window),
+            "window_min": min(window) if window else 0.0,
+            "window_max": max(window) if window else 0.0,
+            "last": window[-1] if window else 0.0,
+        }
+
+
+class PerfRegistry:
+    """A named collection of counters, timers, histograms, and rings."""
+
+    __slots__ = (
+        "enabled",
+        "sample_interval",
+        "counters",
+        "timers",
+        "histograms",
+        "rings",
+        "_started",
+    )
 
     def __init__(self) -> None:
         self.enabled = False
+        #: hot paths time one event in every ``sample_interval`` when
+        #: enabled; tests may set it to 1 to observe every event.
+        self.sample_interval = 64
         self.counters: dict[str, float] = {}
         self.timers: dict[str, StreamingStat] = {}
         self.histograms: dict[str, StreamingStat] = {}
+        self.rings: dict[str, RingBuffer] = {}
         self._started = time.monotonic()
 
     # -- recording -----------------------------------------------------------
@@ -95,6 +166,13 @@ class PerfRegistry:
         if stat is None:
             stat = self.histograms[name] = StreamingStat()
         stat.observe(value)
+
+    def ring(self, name: str, capacity: int = 256) -> RingBuffer:
+        """Get (or create) the ring buffer for sampled series ``name``."""
+        ring = self.rings.get(name)
+        if ring is None:
+            ring = self.rings[name] = RingBuffer(capacity)
+        return ring
 
     def merge_counters(self, deltas: dict) -> None:
         """Fold another registry's counter deltas into this one.
@@ -129,6 +207,7 @@ class PerfRegistry:
         self.counters.clear()
         self.timers.clear()
         self.histograms.clear()
+        self.rings.clear()
         self._started = time.monotonic()
 
     @property
@@ -145,6 +224,7 @@ class PerfRegistry:
             "counters": dict(self.counters),
             "timers": {k: v.as_dict() for k, v in self.timers.items()},
             "histograms": {k: v.as_dict() for k, v in self.histograms.items()},
+            "rings": {k: v.as_dict() for k, v in self.rings.items()},
         }
 
     def rate(self, name: str, elapsed: Optional[float] = None) -> float:

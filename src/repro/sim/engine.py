@@ -1,20 +1,39 @@
 """Event-calendar simulator.
 
-The simulator owns a monotonic clock and a binary-heap future event list.
-Events scheduled for the same timestamp are ordered by ``priority`` then by
-insertion sequence, so runs are bit-for-bit reproducible regardless of dict
-ordering or callback registration order.
+The simulator owns a monotonic clock and a pluggable future event list
+(:mod:`repro.sim.fel`).  Events scheduled for the same timestamp are ordered
+by ``priority`` then by insertion sequence, so runs are bit-for-bit
+reproducible regardless of dict ordering or callback registration order.
+
+Hot-path design (see ``docs/architecture.md``):
+
+- the FEL stores ``(time, priority, seq, handle)`` tuples — ordering happens
+  through C-level tuple comparison, never through Python ``__lt__``;
+- an unbounded ``run()`` (no ``until``, no ``max_events``, no armed budget)
+  delegates to the FEL's inlined ``drain`` loop; bounded runs use the
+  portable peek/pop path below;
+- perf instrumentation is *sampled*: with the registry enabled, dispatch
+  latency is timed once every ``PERF.sample_interval`` events into a ring
+  buffer, and the bulk counters (executed/scheduled/dropped) are flushed as
+  deltas at run boundaries instead of being incremented per event.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 import time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from repro.perf.registry import PERF
 from repro.sim.events import EventHandle, Priority
+from repro.sim.fel import CalendarFEL, HeapFEL, make_fel
+
+
+#: FEL backend used when a :class:`Simulator` is built without an explicit
+#: ``fel`` argument.  The parity tests flip this to ``"heap"`` to replay a
+#: whole scenario — including every internally-constructed simulator — on
+#: the reference backend and assert bit-identical results.
+DEFAULT_FEL = "calendar"
 
 
 class SimulationError(RuntimeError):
@@ -40,6 +59,11 @@ class SimBudgetExceeded(SimulationError):
 class Simulator:
     """A deterministic discrete-event simulator.
 
+    ``fel`` selects the future-event-list backend: ``"calendar"`` (the
+    calendar queue) or ``"heap"`` (the binary-heap reference used by the
+    parity tests); ``None`` (the default) picks the module-level
+    :data:`DEFAULT_FEL`.  Both backends produce identical event orderings.
+
     Example
     -------
     >>> sim = Simulator()
@@ -53,21 +77,37 @@ class Simulator:
     5.0
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(
+        self,
+        start: float = 0.0,
+        fel: Optional[Union[str, HeapFEL, CalendarFEL]] = None,
+    ) -> None:
         self._now = float(start)
-        self._heap: list[EventHandle] = []
+        self._fel = make_fel(fel if fel is not None else DEFAULT_FEL)
         self._seq = 0
         self._running = False
         self.events_executed = 0
         self.events_scheduled = 0
-        # Watchdog budgets (see set_budget); _budget_active keeps the
-        # no-budget fast path to a single falsy test per event.
+        # Watchdog budgets (see set_budget); _budget_active routes budgeted
+        # runs through the bounded loop, keeping the drain path check-free.
         self._budget_events: Optional[int] = None
         self._budget_time: Optional[float] = None
         self._budget_active = False
-        # Single-attribute alias so the disabled instrumentation path is one
-        # load + one falsy test per event (see repro.perf.registry).
+        # Single-attribute alias so instrumentation checks are one load +
+        # one falsy test (see repro.perf.registry).
         self._perf = PERF
+        # Bound-method alias: schedule() is called once per event, and the
+        # extra attribute hop through self._fel is measurable there.
+        self._push = self._fel.push
+        # Sampled-instrumentation state: dispatch latency is timed when the
+        # countdown hits zero, then the countdown reloads from
+        # PERF.sample_interval.  Starts at 1 so the first dispatch of an
+        # enabled run is always sampled (deterministic for tests).
+        self._sample_countdown = 1
+        # Flush watermarks: totals already folded into the perf registry.
+        self._flushed_executed = 0
+        self._flushed_scheduled = 0
+        self._flushed_dropped = 0
 
     @property
     def now(self) -> float:
@@ -86,7 +126,9 @@ class Simulator:
         the *next* event would exceed either budget, :meth:`step` raises
         :class:`SimBudgetExceeded` before executing it — a hung scenario
         becomes a classified, catchable failure instead of a dead worker.
-        Passing ``None`` for both disarms the watchdog.
+        Passing ``None`` for both disarms the watchdog.  Arm budgets before
+        calling :meth:`run`: an unbudgeted run drains through the fast path,
+        which does not re-check mid-run.
         """
         if max_events is not None and max_events < 1:
             raise ValueError(f"max_events must be >= 1, got {max_events}")
@@ -114,6 +156,14 @@ class Simulator:
                 budget=f"max_sim_time={self._budget_time}",
             )
 
+    def _reject_time(self, time: float) -> None:
+        """Raise the right SimulationError for a NaN or in-the-past time."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule an event at time NaN")
+        raise SimulationError(
+            f"cannot schedule into the past: t={time} < now={self._now}"
+        )
+
     def schedule(
         self,
         delay: float,
@@ -121,8 +171,24 @@ class Simulator:
         *args: Any,
         priority: int = Priority.INTERNAL,
     ) -> EventHandle:
-        """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
-        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now.
+
+        The body deliberately mirrors :meth:`schedule_at` instead of
+        delegating: this is the per-event allocation path, and the extra
+        frame plus ``*args`` repack showed up in the engine benchmark.
+        The single ``t >= now`` test covers both NaN (all comparisons
+        false) and into-the-past times; the cold path sorts out which.
+        """
+        now = self._now
+        t = now + delay
+        if not t >= now:
+            self._reject_time(t)
+        seq = self._seq
+        self._seq = seq + 1
+        self.events_scheduled += 1
+        handle = EventHandle(t, priority, seq, fn, args)
+        self._push((t, priority, seq, handle))
+        return handle
 
     def schedule_at(
         self,
@@ -132,19 +198,14 @@ class Simulator:
         priority: int = Priority.INTERNAL,
     ) -> EventHandle:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
-        if math.isnan(time):
-            raise SimulationError("cannot schedule an event at time NaN")
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule into the past: t={time} < now={self._now}"
-            )
-        handle = EventHandle(float(time), int(priority), self._seq, fn, args)
-        self._seq += 1
+        t = time + 0.0  # normalise ints without a float() call
+        if not t >= self._now:
+            self._reject_time(t)
+        seq = self._seq
+        self._seq = seq + 1
         self.events_scheduled += 1
-        heapq.heappush(self._heap, handle)
-        if self._perf.enabled:
-            self._perf.incr("sim.events_scheduled")
-            self._perf.observe("sim.heap_depth", len(self._heap))
+        handle = EventHandle(t, priority, seq, fn, args)
+        self._push((t, priority, seq, handle))
         return handle
 
     def cancel(self, handle: EventHandle) -> bool:
@@ -153,49 +214,59 @@ class Simulator:
         Returns ``True`` when the event was live and is now cancelled.
         Cancelling a handle that already fired, or one cancelled before, is
         a safe no-op returning ``False`` — heavy cancellers (the fault
-        injector, cluster reschedules) can never corrupt the heap or the
-        cancelled-event accounting by cancelling twice or too late.
+        injector, cluster reschedules) can never corrupt the event list or
+        the cancelled-event accounting by cancelling twice or too late.
         """
         return handle.cancel()
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the list is empty."""
-        self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        entry = self._fel.peek_live()
+        return entry[0] if entry is not None else None
 
-    def _drop_cancelled(self) -> None:
-        # Counting only happens after a pop, so the common no-cancellation
-        # path costs exactly what it did before instrumentation.
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            if self._perf.enabled:
-                self._perf.incr("sim.cancelled_dropped")
+    def _dispatch(self, entry: tuple, registry) -> None:
+        """Execute one popped entry (bounded-path only; drain inlines this)."""
+        handle = entry[3]
+        if entry[0] < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event list corrupted: time went backwards")
+        self._now = entry[0]
+        handle.fired = True
+        self.events_executed += 1
+        if registry is not None:
+            countdown = self._sample_countdown - 1
+            if countdown:
+                self._sample_countdown = countdown
+                handle.fn(*handle.args)
+            else:
+                self._sample_countdown = registry.sample_interval
+                t0 = time.perf_counter()
+                handle.fn(*handle.args)
+                registry.ring("sim.dispatch_latency_s").record(
+                    time.perf_counter() - t0
+                )
+        else:
+            handle.fn(*handle.args)
 
     def step(self) -> bool:
         """Execute the next pending event.
 
         Returns ``True`` if an event ran, ``False`` if the event list was
-        empty.
+        empty.  Unlike :meth:`run`, counters are flushed to the perf
+        registry after every step, so single-stepping code observes
+        up-to-date metrics.
         """
-        self._drop_cancelled()
-        if not self._heap:
+        entry = self._fel.peek_live()
+        if entry is None:
+            self._flush_perf()
             return False
         if self._budget_active:
-            self._check_budget(self._heap[0].time)
-        handle = heapq.heappop(self._heap)
-        if handle.time < self._now:  # pragma: no cover - defensive
-            raise SimulationError("event list corrupted: time went backwards")
-        self._now = handle.time
-        handle.fired = True
-        self.events_executed += 1
-        perf = self._perf
-        if perf.enabled:
-            t0 = time.perf_counter()
-            handle.fn(*handle.args)
-            perf.observe("sim.dispatch_latency_s", time.perf_counter() - t0)
-            perf.incr("sim.events_executed")
-        else:
-            handle.fn(*handle.args)
+            self._check_budget(entry[0])
+        self._fel.pop_live()
+        registry = self._perf if self._perf.enabled else None
+        try:
+            self._dispatch(entry, registry)
+        finally:
+            self._flush_perf()
         return True
 
     def run(
@@ -212,23 +283,75 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
-        executed = 0
+        registry = self._perf if self._perf.enabled else None
         try:
-            while True:
-                if max_events is not None and executed >= max_events:
-                    break
-                next_t = self.peek()
-                if next_t is None:
-                    break
-                if until is not None and next_t > until:
-                    break
-                self.step()
-                executed += 1
+            if until is None and max_events is None and not self._budget_active:
+                # Unbounded drain: the FEL's inlined hot loop.
+                self._fel.drain(self, registry)
+            else:
+                self._run_bounded(until, max_events, registry)
         finally:
             self._running = False
+            self._flush_perf()
         if until is not None and self._now < until:
             self._now = float(until)
 
+    def _run_bounded(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        registry,
+    ) -> None:
+        """Portable run loop honouring ``until``/``max_events``/budgets.
+
+        One FEL probe per iteration: ``peek_live`` caches the next live
+        entry, so the bound checks and the subsequent pop share a single
+        cancelled-scrub instead of paying it twice.
+        """
+        fel = self._fel
+        executed = 0
+        budgeted = self._budget_active
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            entry = fel.peek_live()
+            if entry is None:
+                break
+            if until is not None and entry[0] > until:
+                break
+            if budgeted:
+                self._check_budget(entry[0])
+            fel.pop_live()
+            self._dispatch(entry, registry)
+            executed += 1
+
+    def _flush_perf(self) -> None:
+        """Fold counter deltas since the last flush into the registry.
+
+        Watermarks advance even while the registry is disabled, so activity
+        from a disabled period is discarded rather than attributed to the
+        next enabled window.
+        """
+        fel = self._fel
+        d_exec = self.events_executed - self._flushed_executed
+        d_sched = self.events_scheduled - self._flushed_scheduled
+        d_drop = fel.dropped - self._flushed_dropped
+        if d_exec:
+            self._flushed_executed = self.events_executed
+        if d_sched:
+            self._flushed_scheduled = self.events_scheduled
+        if d_drop:
+            self._flushed_dropped = fel.dropped
+        perf = self._perf
+        if perf.enabled:
+            if d_exec:
+                perf.incr("sim.events_executed", d_exec)
+            if d_sched:
+                perf.incr("sim.events_scheduled", d_sched)
+            if d_drop:
+                perf.incr("sim.cancelled_dropped", d_drop)
+            perf.observe("sim.fel_depth", len(fel))
+
     def pending(self) -> int:
         """Number of live (non-cancelled) events in the list."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        return self._fel.live_count()

@@ -12,8 +12,10 @@ def _clean_registry():
     """Every test starts and ends with a disabled, empty global registry."""
     PERF.enabled = False
     PERF.reset()
+    interval = PERF.sample_interval
     yield
     PERF.enabled = False
+    PERF.sample_interval = interval
     PERF.reset()
 
 
@@ -91,8 +93,23 @@ def test_engine_counters_mirror_simulator_attributes():
     assert fired == [1.0, 2.0, 3.0]
     assert reg.counters["sim.events_executed"] == sim.events_executed == 3
     assert reg.counters["sim.events_scheduled"] == sim.events_scheduled == 3
-    assert reg.histograms["sim.dispatch_latency_s"].count == 3
-    assert reg.histograms["sim.heap_depth"].max <= 3
+    # Dispatch latency is *sampled* into a ring buffer: the first dispatch
+    # of a run is always timed, then one in every reg.sample_interval.
+    assert reg.rings["sim.dispatch_latency_s"].count == 1
+    assert reg.rings["sim.dispatch_latency_s"].mean >= 0.0
+    assert reg.histograms["sim.fel_depth"].count >= 1
+
+
+def test_engine_samples_every_event_at_interval_one():
+    with perf.capture() as reg:
+        reg.sample_interval = 1
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run()
+    assert reg.rings["sim.dispatch_latency_s"].count == 3
+    assert len(reg.rings["sim.dispatch_latency_s"].values()) == 3
+    reg.sample_interval = 64
 
 
 def test_engine_records_nothing_when_disabled():
@@ -101,6 +118,7 @@ def test_engine_records_nothing_when_disabled():
     sim.run()
     assert PERF.counters == {}
     assert PERF.histograms == {}
+    assert PERF.rings == {}
 
 
 def test_cancel_churn_counters_consistent_under_heavy_cancellation():
