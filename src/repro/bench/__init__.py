@@ -39,6 +39,7 @@ from typing import Callable, Optional, Union
 
 from repro.experiments.runner import RunCache, run_grid, run_single
 from repro.experiments.scenarios import ExperimentConfig, scenario_by_name
+from repro.market import Marketplace, SyntheticSpec, market_job_stream
 from repro.perf import PERF, PerfRegistry, capture
 from repro.sim.engine import Simulator
 
@@ -71,6 +72,10 @@ class BenchTier:
     fault_mtbf: float = 14_400.0
     fault_mttr: float = 600.0
     fault_recovery: str = "checkpoint"
+    # Population-scale market (§3 extension): cohort backend, one risky
+    # and one steady synthetic provider competing for this population.
+    market_users: int = 100_000
+    market_jobs: int = 20_000
 
 
 QUICK = BenchTier(
@@ -105,6 +110,8 @@ FULL = BenchTier(
     grid_policies=("FCFS-BF", "Libra", "LibraRiskD"),
     grid_model="bid",
     grid_workers=2,
+    market_users=1_000_000,
+    market_jobs=100_000,
 )
 
 TIERS = {tier.name: tier for tier in (QUICK, FULL)}
@@ -269,6 +276,39 @@ def bench_faults(tier: BenchTier) -> dict:
     }
 
 
+def bench_market(tier: BenchTier) -> dict:
+    """Population-scale market run on the vectorized cohort backend.
+
+    The headline metric is ``market_user_events_per_sec`` — softmax
+    choices plus applied satisfaction outcomes per wall-second — the rate
+    the cohort refactor exists to maximise (target: ≥10⁵ at the full
+    tier's 10⁶ users).  The final-share canary is deterministic for the
+    (tier, seed) pair, so BENCH comparisons catch semantic drift in the
+    market as well as slowdowns.
+    """
+    specs = [
+        SyntheticSpec("risky", capacity=96.0, admission="greedy",
+                      mtbf=86_400.0, mttr=3_600.0),
+        SyntheticSpec("steady", capacity=96.0, admission="deadline"),
+    ]
+    market = Marketplace(specs, n_users=tier.market_users, seed=tier.seed)
+    with capture() as perf:
+        t0 = time.perf_counter()
+        market.run(market_job_stream(tier.market_jobs, seed=tier.seed))
+        wall = time.perf_counter() - t0
+        counters = dict(perf.counters)
+    wall = max(wall, 1e-12)
+    user_events = (
+        counters.get("market.user_choices", 0) + counters.get("market.outcomes", 0)
+    )
+    return {
+        "market_wall_s": wall,
+        "market_jobs_per_sec": tier.market_jobs / wall,
+        "market_user_events_per_sec": user_events / wall,
+        "market_risky_final_share": market.final_share("risky"),
+    }
+
+
 def bench_grid(tier: BenchTier) -> dict:
     """Reduced Table VI grid: serial vs process-pool vs warm run store.
 
@@ -335,6 +375,8 @@ def _sim_workload(tier: BenchTier) -> dict:
         "fault_mtbf": tier.fault_mtbf,
         "fault_mttr": tier.fault_mttr,
         "fault_recovery": tier.fault_recovery,
+        "market_users": tier.market_users,
+        "market_jobs": tier.market_jobs,
         "seed": tier.seed,
     }
 
@@ -386,6 +428,7 @@ def run_suite(
         metrics = bench_engine(tier)
         metrics.update(bench_scenario(tier))
         metrics.update(bench_faults(tier))
+        metrics.update(bench_market(tier))
         path = write_bench(out / "BENCH_sim.json", "sim", tier, _sim_workload(tier), metrics)
         written["sim"] = path
         echo(format_table(

@@ -7,6 +7,7 @@ Commands
 ``run``         simulate one policy on one configuration
 ``grid``        run a Table VI grid through the resumable run store
 ``faults``      MTBF sweep: availability-vs-risk table under node failures
+``market``      population-scale provider market (§3): one run or a risk sweep
 ``trace``       show statistics of an SWF trace file (or the synthetic one)
 ``recommend``   a priori policy recommendation for a model/set
 ``list``        list policies, scenarios, objectives
@@ -337,6 +338,106 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def _market_level(text: str):
+    """One ``--levels`` value: a float MTBF in seconds, or off/none."""
+    if text.lower() in ("off", "none"):
+        return None
+    return float(text)
+
+
+def _parse_market_shard(text: str) -> tuple[int, int]:
+    """``--shard I/N`` → ``(I, N)``."""
+    index, sep, count = text.partition("/")
+    if not sep:
+        raise argparse.ArgumentTypeError("shard must look like I/N, e.g. 0/4")
+    return int(index), int(count)
+
+
+def cmd_market(args) -> int:
+    from repro.experiments.marketsweep import (
+        MarketConfig,
+        admission_market_scenario,
+        mtbf_market_scenario,
+        run_market_sweep,
+    )
+    from repro.market import Marketplace, ProviderSpec, SyntheticSpec, market_job_stream
+
+    if args.providers < 2:
+        print("error: a market needs at least 2 providers", file=sys.stderr)
+        return 2
+    # Risky-first convention: providers[0] is the greedy (over-admitting,
+    # possibly failing) provider the sweeps perturb; the rest admit by
+    # deadline feasibility.
+    specs = [
+        SyntheticSpec("risky", capacity=args.capacity, admission="greedy",
+                      mtbf=args.mtbf, mttr=args.mttr)
+    ]
+    for i in range(1, args.providers):
+        name = "steady" if i == 1 else f"steady{i}"
+        specs.append(SyntheticSpec(name, capacity=args.capacity, admission="deadline"))
+
+    if args.sweep:
+        if args.policy:
+            print("error: --policy applies to single runs only "
+                  "(sweeps are synthetic-provider markets)", file=sys.stderr)
+            return 2
+        base = MarketConfig(
+            providers=tuple(specs),
+            n_users=args.users,
+            n_jobs=args.jobs,
+            seed=args.seed,
+            share_window=args.share_window,
+            backend=args.backend,
+        )
+        if args.sweep == "mtbf":
+            scenario = (
+                mtbf_market_scenario(tuple(args.levels))
+                if args.levels else mtbf_market_scenario()
+            )
+        else:
+            scenario = admission_market_scenario()
+        store = RunStore(args.cache_dir) if args.cache_dir else RunStore()
+        result = run_market_sweep(
+            base, scenario=scenario, store=store, shard=args.shard
+        )
+        print(result.table())
+        execution = result.execution
+        print(f"\nplan: {execution.accesses} accesses, {execution.hits} hits, "
+              f"{execution.executed} executed, {execution.deferred} deferred "
+              f"({execution.wall_s:.2f}s)")
+        if args.cache_dir:
+            print(f"run store: {store.cache_dir} "
+                  f"({len(store.document_digests())} market runs on disk)")
+        return 0
+
+    if args.policy:
+        if args.policy not in POLICIES:
+            print(f"error: unknown policy {args.policy!r} (see `list`)",
+                  file=sys.stderr)
+            return 2
+        specs.append(ProviderSpec("service", args.policy, total_procs=args.procs))
+    market = Marketplace(
+        specs,
+        n_users=args.users,
+        seed=args.seed,
+        share_window=args.share_window,
+        backend=args.backend,
+    )
+    market.run(market_job_stream(args.jobs, seed=args.seed))
+    print(f"market — users={args.users} jobs={args.jobs} seed={args.seed} "
+          f"backend={market.backend}")
+    print()
+    print(f"{'provider':<10} {'policy':<20} {'subm':>6} {'ful':>6} "
+          f"{'viol':>6} {'rej':>6} {'final':>7} {'revenue':>12} {'loyal':>7}")
+    for row in market.summary_rows():
+        print(f"{row['provider']:<10} {row['policy']:<20} "
+              f"{row['submitted']:>6} {row['fulfilled']:>6} "
+              f"{row['violated']:>6} {row['rejected']:>6} "
+              f"{row['final_share']:>7.3f} {row['revenue']:>12.1f} "
+              f"{row['loyal_users']:>7}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     if args.file:
         on_error = "skip" if args.lenient else "raise"
@@ -556,6 +657,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="content-addressed run store directory")
     _add_scale_options(p)
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "market",
+        help="population-scale provider market (§3): one run or a risk sweep",
+    )
+    p.add_argument("--users", type=int, default=1000, help="market population")
+    p.add_argument("--jobs", type=int, default=2000, help="jobs in the stream")
+    p.add_argument("--seed", type=int, default=0, help="market seed")
+    p.add_argument("--backend", choices=("cohort", "agents"), default="cohort",
+                   help="population backend (bit-identical; cohort is the "
+                        "vectorized fast path)")
+    p.add_argument("--providers", type=int, default=2,
+                   help="number of synthetic providers (first one is risky)")
+    p.add_argument("--capacity", type=float, default=96.0,
+                   help="per-provider fluid capacity (processors)")
+    p.add_argument("--policy", default=None, metavar="NAME",
+                   help="also field a full service provider running this "
+                        "scheduling policy (single runs only)")
+    p.add_argument("--procs", type=int, default=128,
+                   help="cluster size of the --policy service provider")
+    p.add_argument("--mtbf", type=float, default=None, metavar="SECONDS",
+                   help="give the risky provider outages with this MTBF")
+    p.add_argument("--mttr", type=float, default=3600.0, metavar="SECONDS",
+                   help="mean outage length of the risky provider")
+    p.add_argument("--share-window", type=float, default=50_000.0,
+                   metavar="SECONDS", help="market-share sampling window")
+    p.add_argument("--sweep", choices=("mtbf", "admission"), default=None,
+                   help="sweep a risk knob of the risky provider instead of "
+                        "running once")
+    p.add_argument("--levels", nargs="+", type=_market_level, default=None,
+                   metavar="SECONDS|off", help="MTBF levels for --sweep mtbf "
+                   "('off' = failure-free)")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed run store directory")
+    p.add_argument("--shard", type=_parse_market_shard, default=None,
+                   metavar="I/N", help="execute only the I-th of N "
+                   "content-hash buckets of the sweep")
+    p.set_defaults(fn=cmd_market)
 
     p = sub.add_parser("trace", help="workload statistics (SWF or synthetic)")
     p.add_argument("--file", help="SWF trace file")

@@ -11,8 +11,18 @@
 - :mod:`repro.experiments.figures` — one generator per paper figure (1–8).
 - :mod:`repro.experiments.tables` — one generator per paper table (I–VI).
 - :mod:`repro.experiments.report` — plain-text rendering helpers.
+- :mod:`repro.experiments.marketsweep` — population-scale market sweeps:
+  provider risk knobs vs final market share/revenue, content-addressed
+  through the same :class:`~repro.experiments.runstore.RunStore`.
 """
 
+from repro.experiments.marketsweep import (
+    MarketConfig,
+    MarketScenario,
+    MarketSweepResult,
+    default_market_config,
+    run_market_sweep,
+)
 from repro.experiments.runner import (
     GridAnalysis,
     build_workload,
@@ -37,4 +47,9 @@ __all__ = [
     "run_scenario",
     "run_grid",
     "GridAnalysis",
+    "MarketConfig",
+    "MarketScenario",
+    "MarketSweepResult",
+    "default_market_config",
+    "run_market_sweep",
 ]

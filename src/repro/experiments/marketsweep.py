@@ -1,0 +1,414 @@
+"""Risk-vs-survival sweeps: provider risk knobs against market outcome.
+
+The paper's §3 motivation — a risky operating point "is likely to result
+in dwindling number of users, loss of reputation and revenue, and finally
+out-of-business" — is a claim about *market dynamics*, not about a single
+provider's objective vector.  This experiment quantifies it: hold a
+marketplace of competing providers fixed, sweep one risk knob of the
+*risky* provider (fault MTBF, admission policy, capacity, backlog bound),
+and read off its final market share, revenue, and loyal-user count at each
+level.
+
+Market runs flow through the same plan→execute→assemble pipeline and
+:class:`~repro.experiments.runstore.RunStore` as the grid experiments:
+every run is a pure function of its :class:`MarketConfig` (workload,
+QoS, user choices, and provider failures all derive from ``config.seed``),
+so :func:`market_run_key` content-addresses it and sweeps dedupe,
+checkpoint, resume, and shard exactly like grids.  The stored document
+format is ``repro-market-run`` — distinct from ``repro-run`` so the two
+layers can share a cache directory without ever confusing documents.
+
+Notably the digest *excludes* the population backend: the cohort and
+agent backends are bit-identical by contract (``tests/test_market_cohort``
+enforces it), so a document computed by either serves both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, fields, replace
+from typing import Optional, Sequence
+
+from repro.experiments.pipeline import PlanExecution
+from repro.experiments.runstore import SCHEMA_VERSION, RunStore, StoreError
+from repro.market.marketplace import Marketplace
+from repro.market.provider import SyntheticSpec
+from repro.market.stream import DEFAULT_ARRIVAL_FACTOR, market_job_stream
+from repro.perf.registry import PERF
+
+#: Format marker / document version of one stored market run.
+MARKET_RUN_FORMAT = "repro-market-run"
+MARKET_RUN_VERSION = 1
+
+#: Default MTBF levels for the risk sweep (seconds): failure-free, daily,
+#: four-hourly, hourly outages.  ``None`` disables the fault process
+#: entirely — the survival baseline every other level is read against.
+MARKET_MTBF_LEVELS: tuple[Optional[float], ...] = (
+    None,
+    86_400.0,
+    14_400.0,
+    3_600.0,
+)
+
+#: Spec fields a :class:`MarketScenario` may sweep on the risky provider.
+SWEEPABLE_KNOBS = ("mtbf", "admission", "capacity", "queue_limit", "mttr")
+
+
+@dataclass(frozen=True)
+class MarketConfig:
+    """Everything one market run depends on.
+
+    ``providers[0]`` is by convention the *risky* provider — the one whose
+    knob a :class:`MarketScenario` sweeps; the rest are the stable field
+    it competes against.
+    """
+
+    providers: tuple[SyntheticSpec, ...]
+    n_users: int = 1_000
+    n_jobs: int = 2_000
+    seed: int = 0
+    share_window: float = 50_000.0
+    arrival_factor: float = DEFAULT_ARRIVAL_FACTOR
+    backend: str = "cohort"
+
+    def __post_init__(self) -> None:
+        if not self.providers:
+            raise ValueError("MarketConfig needs at least one provider")
+        for spec in self.providers:
+            if not isinstance(spec, SyntheticSpec):
+                raise TypeError(
+                    "MarketConfig providers must be SyntheticSpec (service "
+                    f"providers are not sweepable), got {type(spec).__name__}"
+                )
+        if self.n_users <= 0:
+            raise ValueError("n_users must be positive")
+        if self.n_jobs <= 0:
+            raise ValueError("n_jobs must be positive")
+
+    def with_risky(self, **changes) -> "MarketConfig":
+        """A copy with fields of the risky provider (``providers[0]``)
+        replaced."""
+        risky = replace(self.providers[0], **changes)
+        return replace(self, providers=(risky,) + self.providers[1:])
+
+    def to_dict(self) -> dict:
+        doc = {f.name: getattr(self, f.name) for f in fields(self)}
+        doc["providers"] = [spec.to_dict() for spec in self.providers]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "MarketConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise StoreError(f"unknown MarketConfig fields: {sorted(unknown)}")
+        kwargs = dict(doc)
+        try:
+            kwargs["providers"] = tuple(
+                SyntheticSpec.from_dict(spec) for spec in doc["providers"]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(f"malformed providers block: {exc}") from exc
+        return cls(**kwargs)
+
+
+def default_market_config(**overrides) -> MarketConfig:
+    """The canonical two-provider duel: a greedy ``risky`` provider versus
+    a deadline-admission ``steady`` one of equal capacity."""
+    base = MarketConfig(
+        providers=(
+            SyntheticSpec("risky", capacity=96.0, admission="greedy"),
+            SyntheticSpec("steady", capacity=96.0, admission="deadline"),
+        ),
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+def market_run_key(config: MarketConfig) -> str:
+    """Stable content digest of one market run.
+
+    Covers everything the result depends on — and deliberately *not* the
+    ``backend`` field, because the cohort/agent backends are bit-identical
+    by the parity contract.
+    """
+    payload = dict(config.to_dict())
+    payload.pop("backend")
+    text = json.dumps(
+        {"schema": SCHEMA_VERSION, "format": MARKET_RUN_FORMAT, "config": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def run_market_config(config: MarketConfig) -> dict:
+    """Simulate one market and return its JSON-ready result document."""
+    market = Marketplace(
+        list(config.providers),
+        n_users=config.n_users,
+        seed=config.seed,
+        share_window=config.share_window,
+        backend=config.backend,
+    )
+    market.run(
+        market_job_stream(
+            config.n_jobs, seed=config.seed, arrival_factor=config.arrival_factor
+        )
+    )
+    loyal = market.preferred_counts()
+    outcomes = market.outcome_counts()
+    providers = {}
+    for name in market.names:
+        stats = market.stats[name]
+        providers[name] = {
+            "final_share": market.final_share(name),
+            "revenue": market.revenue(name),
+            "loyal_users": loyal.get(name, 0),
+            "submitted": stats.submitted,
+            "accepted": stats.accepted,
+            "outcomes": outcomes[name],
+        }
+    return {
+        "format": MARKET_RUN_FORMAT,
+        "version": MARKET_RUN_VERSION,
+        "schema": SCHEMA_VERSION,
+        "config": config.to_dict(),
+        "providers": providers,
+    }
+
+
+def load_market_document(doc: dict) -> dict:
+    """Validate one market-run document and return its providers block."""
+    if doc.get("format") != MARKET_RUN_FORMAT:
+        raise StoreError(
+            f"not a {MARKET_RUN_FORMAT} document: format={doc.get('format')!r}"
+        )
+    version = doc.get("version")
+    if version != MARKET_RUN_VERSION:
+        raise StoreError(f"unsupported market run document version {version!r}")
+    providers = doc.get("providers")
+    if not isinstance(providers, dict) or not providers:
+        raise StoreError("malformed providers block")
+    return providers
+
+
+# -- plan → execute → assemble -------------------------------------------------
+
+@dataclass(frozen=True)
+class MarketScenario:
+    """One swept knob of the risky provider, Table-VI style."""
+
+    name: str
+    knob: str
+    levels: tuple
+
+    def __post_init__(self) -> None:
+        if self.knob not in SWEEPABLE_KNOBS:
+            raise ValueError(
+                f"unknown market knob {self.knob!r}; expected one of "
+                f"{SWEEPABLE_KNOBS}"
+            )
+        if not self.levels:
+            raise ValueError("MarketScenario needs at least one level")
+
+    def configs(self, base: MarketConfig) -> list[MarketConfig]:
+        """The base config with the risky provider's knob set per level."""
+        return [base.with_risky(**{self.knob: level}) for level in self.levels]
+
+
+def mtbf_market_scenario(
+    levels: Sequence[Optional[float]] = MARKET_MTBF_LEVELS,
+) -> MarketScenario:
+    return MarketScenario("MTBF", "mtbf", tuple(levels))
+
+
+def admission_market_scenario() -> MarketScenario:
+    return MarketScenario("admission", "admission", ("greedy", "deadline"))
+
+
+def market_plan(
+    scenario: MarketScenario, base: MarketConfig
+) -> list[MarketConfig]:
+    """The work list of one sweep (one config per level)."""
+    return scenario.configs(base)
+
+
+def execute_market_plan(
+    plan: Sequence[MarketConfig],
+    store: RunStore,
+    shard: Optional[tuple[int, int]] = None,
+) -> PlanExecution:
+    """Dedupe, (optionally) shard, simulate, checkpoint — grid semantics.
+
+    Accounting mirrors :func:`repro.experiments.pipeline.execute_plan`:
+    every plan entry is one logical access, the first access of a digest
+    the store cannot serve is a miss, and each finished run is written to
+    the store the moment it completes, so an interrupted sweep loses at
+    most the in-flight run.  ``shard=(i, n)`` keeps the misses whose
+    digest falls in the ``i``-th of ``n`` buckets — the same pure
+    content-hash assignment grids use, so shards sharing a cache
+    directory partition the sweep with no coordination.
+    """
+    if shard is not None:
+        index, count = shard
+        if count < 1 or not 0 <= index < count:
+            raise ValueError(f"shard must satisfy 0 <= i < n, got {index}/{count}")
+    t0 = time.perf_counter()
+
+    pending: list[tuple[MarketConfig, str]] = []
+    seen: set[str] = set()
+    hits = 0
+    for config in plan:
+        digest = market_run_key(config)
+        if digest in seen or store.get_document(digest, MARKET_RUN_FORMAT) is not None:
+            hits += 1
+        else:
+            seen.add(digest)
+            pending.append((config, digest))
+    misses = len(pending)
+    store.hits += hits
+    store.misses += misses
+
+    if shard is not None:
+        index, count = shard
+        mine = [
+            (config, digest)
+            for config, digest in pending
+            if int(digest[:8], 16) % count == index
+        ]
+    else:
+        mine = pending
+
+    for config, digest in mine:
+        store.put_document(digest, run_market_config(config))
+
+    wall = time.perf_counter() - t0
+    if PERF.enabled:
+        PERF.add_time("marketsweep.execute_s", wall)
+        PERF.incr("marketsweep.plans_executed")
+    return PlanExecution(
+        accesses=len(plan),
+        hits=hits,
+        misses=misses,
+        executed=len(mine),
+        deferred=misses - len(mine),
+        wall_s=wall,
+    )
+
+
+@dataclass(frozen=True)
+class MarketSweepRow:
+    """One provider's outcome at one level of the sweep."""
+
+    level: object
+    provider: str
+    final_share: float
+    revenue: float
+    loyal_users: int
+    violated: int
+    rejected: int
+
+
+@dataclass
+class MarketSweepResult:
+    """Everything one market sweep produces."""
+
+    scenario: MarketScenario
+    base: MarketConfig
+    rows: list[MarketSweepRow]
+    execution: Optional[PlanExecution] = None
+
+    @property
+    def complete(self) -> bool:
+        """True when every level's document was available at assembly."""
+        per_level = len(self.base.providers)
+        return len(self.rows) == len(self.scenario.levels) * per_level
+
+    def table(self) -> str:
+        """The risk-vs-survival table, ready to print."""
+        risky = self.base.providers[0].name
+        lines = [
+            f"Market sweep — knob={self.scenario.knob} ({risky}) "
+            f"users={self.base.n_users} jobs={self.base.n_jobs} "
+            f"seed={self.base.seed}",
+            "",
+            f"{'level':>10} {'provider':<10} {'share':>7} {'revenue':>12} "
+            f"{'loyal':>7} {'violated':>8} {'rejected':>8}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{_fmt_level(self.scenario.knob, row.level):>10} "
+                f"{row.provider:<10} {row.final_share:>7.3f} "
+                f"{row.revenue:>12.1f} {row.loyal_users:>7} "
+                f"{row.violated:>8} {row.rejected:>8}"
+            )
+        if not self.complete:
+            lines.append("")
+            lines.append("(incomplete: some levels deferred to other shards)")
+        return "\n".join(lines)
+
+
+def _fmt_level(knob: str, level) -> str:
+    if level is None:
+        return "off"
+    if knob in ("mtbf", "mttr") and isinstance(level, (int, float)):
+        return f"{level / 3600:g}h"
+    if isinstance(level, float):
+        return f"{level:g}"
+    return str(level)
+
+
+def assemble_market_sweep(
+    store: RunStore,
+    scenario: MarketScenario,
+    base: MarketConfig,
+    execution: Optional[PlanExecution] = None,
+) -> MarketSweepResult:
+    """Read the sweep's documents back out of the store into a result.
+
+    Pure read: runs nothing, so any shard (or a later process) can
+    assemble from a shared cache directory.  Levels whose document is
+    missing (deferred to a peer shard that has not finished) are simply
+    absent from ``rows`` and flagged via ``MarketSweepResult.complete``.
+    """
+    rows: list[MarketSweepRow] = []
+    for level, config in zip(scenario.levels, scenario.configs(base)):
+        doc = store.get_document(market_run_key(config), MARKET_RUN_FORMAT)
+        if doc is None:
+            continue
+        providers = load_market_document(doc)
+        for spec in config.providers:
+            entry = providers.get(spec.name)
+            if entry is None:
+                raise StoreError(f"document missing provider {spec.name!r}")
+            outcomes = entry.get("outcomes", {})
+            rows.append(
+                MarketSweepRow(
+                    level=level,
+                    provider=spec.name,
+                    final_share=float(entry["final_share"]),
+                    revenue=float(entry["revenue"]),
+                    loyal_users=int(entry["loyal_users"]),
+                    violated=int(outcomes.get("violated", 0)),
+                    rejected=int(outcomes.get("rejected", 0)),
+                )
+            )
+    return MarketSweepResult(scenario=scenario, base=base, rows=rows,
+                             execution=execution)
+
+
+def run_market_sweep(
+    base: Optional[MarketConfig] = None,
+    scenario: Optional[MarketScenario] = None,
+    store: Optional[RunStore] = None,
+    shard: Optional[tuple[int, int]] = None,
+) -> MarketSweepResult:
+    """Plan, execute, and assemble one market sweep end to end."""
+    base = base if base is not None else default_market_config()
+    scenario = scenario if scenario is not None else mtbf_market_scenario()
+    store = store if store is not None else RunStore()
+    plan = market_plan(scenario, base)
+    execution = execute_market_plan(plan, store, shard=shard)
+    return assemble_market_sweep(store, scenario, base, execution=execution)

@@ -21,6 +21,8 @@ Layout of a cache directory::
     <cache_dir>/
       index.jsonl                  append-only per-run metadata lines
       runs/<digest[:2]>/<digest>.json
+      docs/<digest[:2]>/<digest>.json   generic documents (e.g. market
+                                   runs) under caller-computed digests
       failures.jsonl               append-only failure journal (one JSON
                                    line per exhausted-retries failure)
       quarantine/<digest>.json     corrupt/foreign run documents, moved
@@ -211,6 +213,7 @@ class RunStore:
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
         self._memory: dict[str, ObjectiveSet] = {}
+        self._docs: dict[str, dict] = {}
         self._failures: dict[str, FailureRecord] = {}
         self.hits = 0
         self.misses = 0
@@ -343,6 +346,93 @@ class RunStore:
         )
         with open(self.cache_dir / "index.jsonl", "a", encoding="utf-8") as fh:
             fh.write(line + "\n")
+
+    # -- generic documents ---------------------------------------------------
+    # Run documents above are ObjectiveSet-shaped; other experiment layers
+    # (e.g. market runs, which produce per-provider share/revenue tables)
+    # reuse the same two-layer content-addressed discipline through these
+    # format-agnostic methods.  The caller owns the digest computation and
+    # stamps its own ``format`` marker, so foreign documents are never
+    # confused with ObjectiveSet runs and incompatible schemas never
+    # collide.
+
+    def document_path(self, digest: str) -> Optional[Path]:
+        """Where a generic document lives on disk (None when memory-only)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / "docs" / digest[:2] / f"{digest}.json"
+
+    def get_document(self, digest: str, fmt: str) -> Optional[dict]:
+        """The stored document for ``digest``, or None.
+
+        Same never-raises contract as :meth:`get`: disk entries are
+        promoted into the memory layer on first touch, and a corrupt,
+        truncated, or wrong-format file is quarantined and treated as a
+        miss (counted under ``runstore.corrupt_skipped``).
+        """
+        doc = self._docs.get(digest)
+        if doc is not None:
+            if PERF.enabled:
+                PERF.incr("runstore.doc_hits")
+            return doc
+        path = self.document_path(digest)
+        if path is not None:
+            try:
+                text = path.read_text()
+            except OSError:
+                text = None
+            if text is not None:
+                try:
+                    doc = json.loads(text)
+                    if (
+                        not isinstance(doc, dict)
+                        or doc.get("format") != fmt
+                        or doc.get("key") != digest
+                    ):
+                        raise StoreError(f"not a {fmt} document")
+                except (StoreError, ValueError):
+                    self._quarantine(path)
+                    if PERF.enabled:
+                        PERF.incr("runstore.corrupt_skipped")
+                else:
+                    self._docs[digest] = doc
+                    if PERF.enabled:
+                        PERF.incr("runstore.doc_hits")
+                        PERF.incr("runstore.bytes_read", len(text.encode("utf-8")))
+                    return doc
+        if PERF.enabled:
+            PERF.incr("runstore.doc_misses")
+        return None
+
+    def put_document(self, digest: str, doc: dict) -> None:
+        """Record a finished document under a caller-computed ``digest``.
+
+        ``doc`` must carry a non-empty ``format`` marker (how readers
+        recognise their own documents); it is stamped with ``key=digest``
+        and checkpointed atomically like every run document.
+        """
+        fmt = doc.get("format")
+        if not isinstance(fmt, str) or not fmt:
+            raise StoreError("document must carry a non-empty 'format' marker")
+        stored = dict(doc)
+        stored["key"] = digest
+        self._docs[digest] = stored
+        path = self.document_path(digest)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        n_bytes = atomic_write_text(
+            path, json.dumps(stored, indent=1, sort_keys=True) + "\n"
+        )
+        if PERF.enabled:
+            PERF.incr("runstore.bytes_written", n_bytes)
+            PERF.incr("runstore.docs_persisted")
+
+    def document_digests(self) -> set[str]:
+        """Digests of every generic document currently on disk."""
+        if self.cache_dir is None:
+            return set()
+        return {p.stem for p in (self.cache_dir / "docs").glob("??/*.json")}
 
     # -- failure journal -----------------------------------------------------
     def record_failure(self, record: FailureRecord) -> None:

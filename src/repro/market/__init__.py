@@ -4,23 +4,34 @@ The paper argues that in a free utility-computing market "service users can
 switch to any computing service whenever they want", so "ignoring
 user-centric objectives is likely to result in dwindling number of users,
 loss of reputation and revenue, and finally out-of-business".  This package
-simulates that dynamic directly:
+simulates that dynamic directly, at population scale:
 
-- :mod:`repro.market.user` — users with per-provider satisfaction memory,
-  updated from their own SLA outcomes, choosing providers by softmax over
-  satisfaction;
-- :mod:`repro.market.marketplace` — several
-  :class:`~repro.service.provider.CommercialComputingService` instances on
-  one simulator competing for a shared job stream, with market-share and
-  revenue time series.
+- :mod:`repro.market.user` — the scalar satisfaction/choice primitives and
+  the per-object :class:`UserAgent` parity reference;
+- :mod:`repro.market.cohort` — :class:`UserCohort`, the whole population's
+  satisfaction state as one ``(n_users × n_providers)`` array with
+  vectorized EWMA updates (bit-identical to the agents — see
+  ``docs/market.md`` for the parity contract);
+- :mod:`repro.market.provider` — O(1) fluid-queue
+  :class:`SyntheticProvider` competitors with sweepable risk knobs
+  (capacity, admission policy, MTBF/MTTR);
+- :mod:`repro.market.marketplace` — the market itself: streaming job
+  arrival, window-batched feedback, mixed service/synthetic providers on
+  one simulator, market-share and revenue time series;
+- :mod:`repro.market.stream` — deterministic QoS-annotated Lublin job
+  streams (lazy, O(chunk) memory).
 
 It is an *extension* of the paper (none of its figures need it); the
 benchmark ``benchmarks/test_market_extension.py`` demonstrates the §3
-claim quantitatively.
+claim quantitatively and :mod:`repro.experiments.marketsweep` quantifies
+risk-vs-survival at population scale.
 """
 
+from repro.market.cohort import AgentPopulation, UserCohort, make_population
 from repro.market.marketplace import Marketplace, MarketShareSample, ProviderSpec
-from repro.market.user import SatisfactionParams, UserAgent
+from repro.market.provider import SyntheticProvider, SyntheticSpec
+from repro.market.stream import market_job_stream
+from repro.market.user import SatisfactionParams, UserAgent, score_outcome, softmax_pick
 
 __all__ = [
     "UserAgent",
@@ -28,4 +39,12 @@ __all__ = [
     "Marketplace",
     "ProviderSpec",
     "MarketShareSample",
+    "UserCohort",
+    "AgentPopulation",
+    "make_population",
+    "SyntheticProvider",
+    "SyntheticSpec",
+    "market_job_stream",
+    "score_outcome",
+    "softmax_pick",
 ]

@@ -15,15 +15,36 @@ Outcome scoring mirrors the paper's three user-centric objectives:
 Provider choice is a softmax over scores, so a consistently disappointing
 provider loses traffic gradually rather than instantaneously — users still
 probe it occasionally (imperfect information, as in real markets).
+
+The scalar scoring and choice primitives live at module level
+(:func:`score_outcome`, :func:`softmax_pick`) because they are the *parity
+contract* between this per-object agent and the vectorized
+:class:`repro.market.cohort.UserCohort`: both backends route every choice
+and every EWMA fold through the same floating-point operations, which is
+what makes cohort-vs-agent runs bit-identical (see ``docs/market.md``).
 """
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.service.sla import SLARecord
+
+#: Outcome kinds in severity order; cohort aggregates and agent histories
+#: index into this tuple (``KIND_*`` below are the integer codes).
+OUTCOME_KINDS: tuple[str, ...] = ("fulfilled", "violated", "rejected")
+KIND_FULFILLED, KIND_VIOLATED, KIND_REJECTED = 0, 1, 2
+
+#: Default bound on a user's outcome history.  Histories exist for tests
+#: and small diagnostic runs; long simulations must not leak memory, so
+#: only the most recent outcomes are retained (pass ``history_limit=0`` to
+#: disable recording entirely — what cohorts effectively do).
+DEFAULT_HISTORY_LIMIT = 256
 
 
 @dataclass(frozen=True)
@@ -51,59 +72,142 @@ class SatisfactionParams:
             raise ValueError("temperature must be positive")
 
 
+def score_outcome(
+    params: SatisfactionParams,
+    accepted: bool,
+    deadline_met: bool,
+    wait: float,
+    deadline: float,
+) -> float:
+    """Score one resolved outcome (see module docstring).
+
+    Takes the outcome's raw facts instead of an :class:`SLARecord` so both
+    the real service providers and the O(1) synthetic providers
+    (:mod:`repro.market.provider`) can price outcomes identically.
+    """
+    if not accepted:
+        return params.rejected_penalty
+    if not deadline_met:
+        return params.violated_penalty
+    reward = params.fulfilled_reward
+    if deadline > 0 and wait > 0 and not math.isinf(deadline):
+        fraction = min(wait / deadline, 1.0)
+        reward -= params.wait_discount * reward * fraction
+    return reward
+
+
+def outcome_kind(accepted: bool, deadline_met: bool) -> int:
+    """The ``KIND_*`` code of one resolved outcome."""
+    if not accepted:
+        return KIND_REJECTED
+    return KIND_FULFILLED if deadline_met else KIND_VIOLATED
+
+
+def softmax_pick(scores: Sequence[float], temperature: float, u: float) -> int:
+    """Inverse-CDF softmax draw: the index selected by uniform ``u``.
+
+    This is *the* choice primitive of the market.  Both user backends call
+    it with plain Python floats and an externally drawn ``u`` in [0, 1), so
+    a cohort run and an agent run consume identical randomness and perform
+    identical arithmetic — the bitwise parity contract.
+    """
+    m = scores[0]
+    for s in scores:
+        if s > m:
+            m = s
+    inv_t = 1.0 / temperature
+    total = 0.0
+    weights = []
+    for s in scores:
+        w = math.exp((s - m) * inv_t)
+        weights.append(w)
+        total += w
+    target = u * total
+    acc = 0.0
+    last = len(weights) - 1
+    for i, w in enumerate(weights):
+        acc += w
+        if target < acc:
+            return i
+    return last  # u == 1.0 - eps rounding: clamp to the final index
+
+
 @dataclass
 class UserAgent:
-    """One service user in the market."""
+    """One service user in the market (the cohort's parity reference)."""
 
     user_id: int
     providers: tuple[str, ...]
     params: SatisfactionParams = field(default_factory=SatisfactionParams)
     scores: dict[str, float] = field(default_factory=dict)
-    history: list[tuple[str, str]] = field(default_factory=list)
+    #: bounded recent-outcome trail, newest last; ``history_limit=0``
+    #: disables recording (long runs keep no per-user history at all).
+    history: deque = field(default_factory=deque)
+    history_limit: int = DEFAULT_HISTORY_LIMIT
 
     def __post_init__(self) -> None:
         if not self.providers:
             raise ValueError(f"user {self.user_id} needs at least one provider")
+        if self.history_limit < 0:
+            raise ValueError("history_limit cannot be negative")
         for name in self.providers:
             self.scores.setdefault(name, self.params.initial_score)
+        self.history = deque(self.history, maxlen=self.history_limit)
 
     # -- choice ---------------------------------------------------------------
     def choose_provider(self, rng: np.random.Generator) -> str:
-        """Softmax draw over current satisfaction scores."""
-        scores = np.array([self.scores[p] for p in self.providers])
-        logits = scores / self.params.temperature
-        logits -= logits.max()  # numerical stability
-        weights = np.exp(logits)
-        probs = weights / weights.sum()
-        return str(rng.choice(list(self.providers), p=probs))
+        """Softmax draw over current satisfaction scores.
+
+        Index-based: one uniform draw feeds :func:`softmax_pick`; no
+        per-call list-of-names construction or ``rng.choice`` machinery.
+        """
+        row = [self.scores[p] for p in self.providers]
+        idx = softmax_pick(row, self.params.temperature, float(rng.random()))
+        return self.providers[idx]
 
     # -- learning -------------------------------------------------------------
     def outcome_score(self, record: SLARecord) -> float:
-        """Score one resolved SLA record (see module docstring)."""
-        if not record.accepted:
-            return self.params.rejected_penalty
-        if not record.deadline_met:
-            return self.params.violated_penalty
-        reward = self.params.fulfilled_reward
+        """Score one resolved SLA record (see :func:`score_outcome`)."""
         wait = (record.start_time or record.job.submit_time) - record.job.submit_time
-        if record.job.deadline > 0 and wait > 0:
-            fraction = min(wait / record.job.deadline, 1.0)
-            reward -= self.params.wait_discount * reward * fraction
-        return reward
+        return score_outcome(
+            self.params, record.accepted, record.deadline_met, wait,
+            record.job.deadline,
+        )
+
+    def observe_outcome(self, provider: str, score: float, kind: str) -> None:
+        """Fold one pre-scored outcome into the provider's satisfaction.
+
+        The primitive shared with :class:`~repro.market.cohort.AgentPopulation`:
+        one EWMA fold ``(1-lr)·old + lr·score`` — the exact scalar operation
+        the cohort vectorizes.
+        """
+        if provider not in self.scores:
+            raise KeyError(f"user {self.user_id} does not know provider {provider!r}")
+        lr = self.params.learning_rate
+        self.scores[provider] = (1.0 - lr) * self.scores[provider] + lr * score
+        if self.history_limit:
+            self.history.append((provider, kind))
 
     def observe(self, provider: str, record: SLARecord) -> None:
         """Fold one outcome into the provider's satisfaction score."""
-        if provider not in self.scores:
-            raise KeyError(f"user {self.user_id} does not know provider {provider!r}")
-        score = self.outcome_score(record)
-        lr = self.params.learning_rate
-        self.scores[provider] = (1.0 - lr) * self.scores[provider] + lr * score
-        kind = (
-            "rejected" if not record.accepted
-            else ("violated" if not record.deadline_met else "fulfilled")
-        )
-        self.history.append((provider, kind))
+        kind = OUTCOME_KINDS[outcome_kind(record.accepted, record.deadline_met)]
+        self.observe_outcome(provider, self.outcome_score(record), kind)
 
     def preferred_provider(self) -> str:
         """The provider this user currently trusts most."""
         return max(self.providers, key=lambda p: (self.scores[p], p))
+
+
+def make_users(
+    n_users: int,
+    providers: tuple[str, ...],
+    params: Optional[SatisfactionParams] = None,
+    history_limit: int = DEFAULT_HISTORY_LIMIT,
+) -> list[UserAgent]:
+    """A population of fresh agents (helper for tests and small markets)."""
+    params = params if params is not None else SatisfactionParams()
+    return [
+        UserAgent(user_id=i, providers=providers, params=params,
+                  history_limit=history_limit)
+        for i in range(n_users)
+    ]

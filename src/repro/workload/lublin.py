@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -127,12 +128,18 @@ def daily_cycle_weight(hour_of_day: np.ndarray, model: LublinModel) -> np.ndarra
     return 1.0 + model.cycle_amplitude * np.cos(phase)
 
 
-def sample_arrivals(rng: np.random.Generator, model: LublinModel, n: int) -> np.ndarray:
-    """Submit times: gamma gaps stretched by the inverse of the daily cycle
-    (arrivals thin out at night, bunch during working hours)."""
+def _advance_arrivals(
+    rng: np.random.Generator, model: LublinModel, n: int, t_start: float
+) -> np.ndarray:
+    """Absolute submit times for ``n`` arrivals continuing from ``t_start``.
+
+    The daily-cycle modulation depends on the running clock, so chunked
+    generation (:func:`iter_lublin_chunks`) threads ``t_start`` between
+    chunks instead of restarting the cycle.
+    """
     gaps = rng.gamma(model.arrival_shape, model.arrival_scale, size=n)
     submits = np.empty(n)
-    t = 0.0
+    t = t_start
     for i in range(n):
         hour = (t / SECONDS_PER_HOUR) % 24.0
         weight = 1.0 + model.cycle_amplitude * math.cos(
@@ -141,6 +148,13 @@ def sample_arrivals(rng: np.random.Generator, model: LublinModel, n: int) -> np.
         # Higher weight => arrivals come faster => shorter effective gap.
         t += gaps[i] / max(weight, 1e-3)
         submits[i] = t
+    return submits
+
+
+def sample_arrivals(rng: np.random.Generator, model: LublinModel, n: int) -> np.ndarray:
+    """Submit times: gamma gaps stretched by the inverse of the daily cycle
+    (arrivals thin out at night, bunch during working hours)."""
+    submits = _advance_arrivals(rng, model, n, 0.0)
     return submits - submits[0]
 
 
@@ -171,3 +185,65 @@ def generate_lublin_trace(
         )
         for i in range(n)
     ]
+
+
+def iter_lublin_chunks(
+    model: LublinModel = LublinModel(),
+    rng: np.random.Generator | int | None = None,
+    chunk_size: int = 8192,
+) -> "Iterator[list[Job]]":
+    """Generate the model's ``n_jobs`` jobs lazily, one chunk at a time.
+
+    Peak memory is O(``chunk_size``) instead of O(``n_jobs``), which is
+    what lets 10⁶-job streams drive the marketplace without materialising
+    a trace.  Each chunk samples sizes → runtimes → arrivals → estimates
+    exactly like :func:`generate_lublin_trace`; the arrival clock and the
+    t=0 normalisation carry across chunks, so the distribution is the
+    model's regardless of chunking.  The concrete sequence matches the
+    batch generator bit-for-bit only when ``chunk_size >= n_jobs`` (one
+    chunk — the RNG then sees the identical draw order).
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(0 if rng is None else rng)
+    if model.n_jobs <= 0:
+        raise ValueError("n_jobs must be positive")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    remaining = model.n_jobs
+    next_id = 1
+    t_clock = 0.0
+    offset: float | None = None
+    while remaining > 0:
+        n = min(chunk_size, remaining)
+        sizes = sample_sizes(rng, model, n)
+        runtimes = sample_runtimes(rng, model, sizes)
+        submits = _advance_arrivals(rng, model, n, t_clock)
+        t_clock = float(submits[-1])
+        if offset is None:
+            offset = float(submits[0])
+        estimates = synthesize_trace_estimates(
+            runtimes, rng, overestimate_fraction=model.overestimate_fraction
+        )
+        yield [
+            Job(
+                job_id=next_id + i,
+                submit_time=float(submits[i]) - offset,
+                runtime=float(runtimes[i]),
+                estimate=float(estimates[i]),
+                procs=int(sizes[i]),
+                trace_estimate=float(estimates[i]),
+            )
+            for i in range(n)
+        ]
+        next_id += n
+        remaining -= n
+
+
+def iter_lublin_jobs(
+    model: LublinModel = LublinModel(),
+    rng: np.random.Generator | int | None = None,
+    chunk_size: int = 8192,
+) -> "Iterator[Job]":
+    """Flat job-at-a-time view of :func:`iter_lublin_chunks`."""
+    for chunk in iter_lublin_chunks(model, rng, chunk_size):
+        yield from chunk

@@ -6,11 +6,13 @@ import pytest
 
 from repro.bench import (
     BENCH_SCHEMA,
+    FULL,
     QUICK,
     BenchTier,
     UninstrumentedSimulator,
     bench_engine,
     bench_grid,
+    bench_market,
     bench_scenario,
     run_suite,
 )
@@ -39,6 +41,8 @@ TINY = BenchTier(
     grid_policies=("FCFS-BF",),
     grid_model="bid",
     grid_workers=1,
+    market_users=500,
+    market_jobs=300,
 )
 
 
@@ -80,6 +84,31 @@ def test_bench_scenario_reports_jobs_and_events_per_sec():
     assert metrics["scenario_wall_s"] > 0
 
 
+def test_tiers_cover_the_market_acceptance_scales():
+    # The full tier is the acceptance benchmark: a 10⁶-user market over
+    # ≥10⁵ jobs; the quick tier is a scaled-down CI smoke of the same shape.
+    assert FULL.market_users == 1_000_000
+    assert FULL.market_jobs >= 100_000
+    assert 0 < QUICK.market_users < FULL.market_users
+    assert 0 < QUICK.market_jobs < FULL.market_jobs
+
+
+def test_bench_market_reports_user_event_rate():
+    metrics = bench_market(TINY)
+    assert metrics["market_wall_s"] > 0
+    assert metrics["market_jobs_per_sec"] > 0
+    assert metrics["market_user_events_per_sec"] > 0
+    assert 0.0 <= metrics["market_risky_final_share"] <= 1.0
+    assert not PERF.enabled  # restored
+
+
+def test_bench_market_share_canary_is_deterministic():
+    assert (
+        bench_market(TINY)["market_risky_final_share"]
+        == bench_market(TINY)["market_risky_final_share"]
+    )
+
+
 def test_bench_grid_reports_walls_and_speedup():
     metrics = bench_grid(TINY)
     assert metrics["grid_serial_wall_s"] > 0
@@ -117,6 +146,7 @@ def test_run_suite_writes_deterministic_workload_metadata(tmp_path):
     sim_metrics = json.loads(first["sim"].read_text())["metrics"]
     assert "engine_events_per_sec" in sim_metrics
     assert "scenario_jobs_per_sec" in sim_metrics
+    assert "market_user_events_per_sec" in sim_metrics
     grid_metrics = json.loads(first["grid"].read_text())["metrics"]
     assert "grid_serial_wall_s" in grid_metrics
     assert "grid_parallel_wall_s" in grid_metrics

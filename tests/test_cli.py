@@ -276,3 +276,61 @@ def test_grid_argument_validation(tmp_path, capsys):
     code, _, err = run_cli(capsys, "grid", "--resume")
     assert code == 2
     assert "--resume requires --cache-dir" in err
+
+
+def test_market_single_run(capsys):
+    code, out, _ = run_cli(
+        capsys, "market", "--users", "80", "--jobs", "120", "--mtbf", "7200"
+    )
+    assert code == 0
+    assert "risky" in out and "steady" in out
+    assert "backend=cohort" in out
+    assert "revenue" in out
+
+
+def test_market_backends_print_identical_tables(capsys):
+    args = ("market", "--users", "40", "--jobs", "60")
+    code_a, out_a, _ = run_cli(capsys, *args, "--backend", "cohort")
+    code_b, out_b, _ = run_cli(capsys, *args, "--backend", "agents")
+    assert code_a == code_b == 0
+    # Everything but the backend label is bit-identical (parity contract).
+    assert out_a.replace("backend=cohort", "") == out_b.replace(
+        "backend=agents", ""
+    )
+
+
+def test_market_with_service_provider(capsys):
+    code, out, _ = run_cli(
+        capsys, "market", "--users", "40", "--jobs", "80",
+        "--policy", "LibraRiskD", "--procs", "64",
+    )
+    assert code == 0
+    assert "service" in out and "LibraRiskD" in out
+
+
+def test_market_sweep_resumes_from_cache_dir(tmp_path, capsys):
+    args = (
+        "market", "--users", "60", "--jobs", "100", "--sweep", "mtbf",
+        "--levels", "off", "3600", "--cache-dir", str(tmp_path),
+    )
+    code, out, _ = run_cli(capsys, *args)
+    assert code == 0
+    assert "Market sweep" in out
+    assert "2 executed" in out
+    code, out, _ = run_cli(capsys, *args)
+    assert code == 0
+    assert "0 executed" in out and "2 hits" in out
+
+
+def test_market_argument_validation(capsys):
+    code, _, err = run_cli(capsys, "market", "--providers", "1")
+    assert code == 2
+    assert "at least 2 providers" in err
+    code, _, err = run_cli(capsys, "market", "--policy", "Nope")
+    assert code == 2
+    assert "unknown policy" in err
+    code, _, err = run_cli(
+        capsys, "market", "--sweep", "mtbf", "--policy", "FCFS-BF"
+    )
+    assert code == 2
+    assert "single runs only" in err
