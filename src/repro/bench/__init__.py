@@ -17,13 +17,24 @@ real measurement):
   events/sec.
 - **grid** — a reduced Table VI grid run serially, through the
   process-pool runner, and twice against a persistent run store (cold
-  then warm), reported as wall-clock seconds and speedups.
+  then warm), reported as wall-clock seconds and speedups; plus a
+  single-worker in-process farm pass (``farm_*`` metrics) that prices
+  the lease/marker/merge machinery against a direct ``execute_plan``
+  of the same units.
 
 Results are written as ``BENCH_sim.json`` and ``BENCH_grid.json`` at the
 output directory (repo root by convention).  All workloads are seeded and
 size-fixed per tier, so the ``workload`` metadata block of repeated runs
 is byte-identical — only the ``metrics`` block (timings) varies.  Compare
 two runs with ``python -m repro.perf.compare``.
+
+Non-refresh policy: the committed ``BENCH_*.json`` files are reference
+points from the box that wrote them and are **not** refreshed when a
+change merely adds metrics — ``repro.perf.compare`` reports metrics
+absent on one side as a grouped note, never a failure, so new families
+(such as ``farm_*``) appear in fresh runs without invalidating the
+committed baselines.  Refresh the committed files only when measuring on
+comparable hardware and the change is meant to move the numbers.
 
 See ``docs/benchmarking.md`` for the workflow.
 """
@@ -363,6 +374,51 @@ def bench_grid(tier: BenchTier) -> dict:
     }
 
 
+def bench_farm(tier: BenchTier) -> dict:
+    """The work-stealing farm vs a direct ``execute_plan`` of the same units.
+
+    One in-process worker drains a single-scenario job end to end
+    (explode → claim/lease/heartbeat per unit → done markers → store
+    merge → assembly), timed against the plain supervisor executing the
+    identical items into one store.  ``farm_overhead_x`` is the
+    wall-clock ratio — informational by design (no directional suffix):
+    the farm's fixed per-unit costs are amortised by real grid runs, and
+    a quick-tier ratio is too noisy to gate CI on.
+    """
+    from repro.experiments.pipeline import execute_plan
+    from repro.experiments.runstore import RunStore
+    from repro.farm import Coordinator, Farm, WorkerAgent, plan_from_args
+
+    config = ExperimentConfig(
+        n_jobs=tier.grid_jobs, total_procs=tier.grid_procs, seed=tier.seed
+    )
+    plan = plan_from_args(
+        list(tier.grid_policies), tier.grid_model, config, "A",
+        scenarios=tuple(tier.grid_scenarios[:1]),
+    )
+    units = plan.unique_units()
+    items = [item for item, _ in units]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-farm-") as tmp:
+        direct_store = RunStore(Path(tmp) / "direct")
+        t0 = time.perf_counter()
+        execute_plan(items, direct_store, execution=plan.execution_policy())
+        direct_wall = max(time.perf_counter() - t0, 1e-12)
+
+        farm = Farm(Path(tmp) / "farm")
+        t0 = time.perf_counter()
+        job_id = farm.create_job(plan)
+        WorkerAgent(farm, worker_id="bench").run(drain=True)
+        Coordinator(farm, poll_interval=0.01).drive(job_id, timeout=600.0)
+        farm_wall = max(time.perf_counter() - t0, 1e-12)
+    return {
+        "farm_units": len(units),
+        "farm_direct_runs_per_sec": len(units) / direct_wall,
+        "farm_runs_per_sec": len(units) / farm_wall,
+        "farm_overhead_x": farm_wall / direct_wall,
+    }
+
+
 def _sim_workload(tier: BenchTier) -> dict:
     return {
         "engine_events": tier.engine_events,
@@ -389,6 +445,7 @@ def _grid_workload(tier: BenchTier) -> dict:
         "policies": list(tier.grid_policies),
         "model": tier.grid_model,
         "n_workers": tier.grid_workers,
+        "farm_scenarios": list(tier.grid_scenarios[:1]),
         "seed": tier.seed,
     }
 
@@ -437,6 +494,7 @@ def run_suite(
         ))
     if only in (None, "grid"):
         metrics = bench_grid(tier)
+        metrics.update(bench_farm(tier))
         path = write_bench(out / "BENCH_grid.json", "grid", tier, _grid_workload(tier), metrics)
         written["grid"] = path
         echo(format_table(

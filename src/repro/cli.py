@@ -8,9 +8,14 @@ Commands
 ``grid``        run a Table VI grid through the resumable run store
 ``faults``      MTBF sweep: availability-vs-risk table under node failures
 ``market``      population-scale provider market (§3): one run or a risk sweep
+``farm``        work-stealing grid farm: worker, serve, sync, status
+``store``       run-store maintenance: stats, compact, merge
 ``trace``       show statistics of an SWF trace file (or the synthetic one)
 ``recommend``   a priori policy recommendation for a model/set
 ``list``        list policies, scenarios, objectives
+
+``grid --farm <dir>`` submits the grid to a farm's spool instead of
+executing locally; ``repro farm serve``/``repro farm worker`` drive it.
 
 ``run`` and ``grid`` accept ``--mtbf`` (plus ``--mttr``, ``--recovery``,
 ``--fault-model``) to inject node failures into any simulation.
@@ -225,6 +230,32 @@ def cmd_grid(args) -> int:
     if args.resume and not args.cache_dir:
         print("error: --resume requires --cache-dir", file=sys.stderr)
         return 2
+    if args.farm:
+        from repro.farm import Farm, plan_from_args
+
+        # Validate scenario names before shipping them to the service.
+        try:
+            for name in args.scenario or ():
+                scenario_by_name(name)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        plan = plan_from_args(
+            policies, args.model, _config_from_args(args), args.set,
+            scenarios=tuple(args.scenario or ()),
+            run_timeout=args.run_timeout, max_retries=args.max_retries,
+            backoff_base=args.retry_backoff,
+            max_sim_events=args.max_sim_events, max_sim_time=args.max_sim_time,
+            on_error=args.on_error,
+        )
+        farm = Farm(args.farm)
+        path = farm.submit(plan)
+        units = len(plan.unique_units())
+        print(f"submitted job {plan.job_id} ({units} units) to {path}")
+        print(f"result will land at {farm.result_path(plan.job_id)} — "
+              f"drive it with `repro farm serve --farm {args.farm}` and "
+              f"`repro farm worker --farm {args.farm}`")
+        return 0
     scenarios = (
         [scenario_by_name(name) for name in args.scenario]
         if args.scenario else SCENARIOS
@@ -438,6 +469,138 @@ def cmd_market(args) -> int:
     return 0
 
 
+def cmd_farm_worker(args) -> int:
+    from repro.farm import Farm, WorkerAgent
+
+    farm = Farm(args.farm)
+    agent = WorkerAgent(
+        farm,
+        worker_id=args.worker_id,
+        lease_duration=args.lease,
+        poll_interval=args.poll,
+        echo=print,
+    )
+    print(f"worker {agent.worker_id} on {farm.root} "
+          f"(store {agent.store.cache_dir})")
+    try:
+        executed = agent.run(
+            max_units=args.max_units,
+            exit_when_done=args.exit_when_done,
+            max_idle_s=args.max_idle,
+        )
+    except KeyboardInterrupt:
+        print(f"worker {agent.worker_id} interrupted; "
+              "completed units are committed and leases will expire")
+        return 130
+    print(f"worker {agent.worker_id} exiting after {executed} unit(s)")
+    return 0
+
+
+def cmd_farm_sync(args) -> int:
+    from repro.farm import Farm
+
+    farm = Farm(args.farm)
+    report = farm.sync()
+    store = farm.store()
+    print(f"sync {farm.root}: {report.summary()}")
+    print(f"farm store: {store.cache_dir} — "
+          f"{len(store.disk_digests())} runs on disk")
+    return 0
+
+
+def cmd_farm_serve(args) -> int:
+    import subprocess
+
+    from repro.farm import Farm, FarmError, FarmService
+
+    farm = Farm(args.farm)
+    service = FarmService(
+        farm, poll_interval=args.poll, self_execute=args.self_execute,
+        echo=print,
+    )
+    workers = []
+    for _ in range(args.workers):
+        workers.append(subprocess.Popen(
+            [sys.executable, "-m", "repro", "farm", "worker",
+             "--farm", str(farm.root)],
+        ))
+    if workers:
+        print(f"spawned {len(workers)} local worker(s)")
+    print(f"serving {farm.root} (poll {args.poll:g}s"
+          f"{', self-executing' if args.self_execute else ''})")
+    try:
+        completed = service.serve(
+            max_jobs=args.max_jobs,
+            exit_when_idle=args.exit_when_idle,
+            timeout=args.timeout,
+        )
+    except KeyboardInterrupt:
+        print("service interrupted; jobs resume on the next serve")
+        return 130
+    except FarmError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        for proc in workers:
+            proc.terminate()
+        for proc in workers:
+            proc.wait(timeout=10)
+    print(f"served {len(completed)} job(s): {', '.join(completed) or '(none)'}")
+    return 0
+
+
+def cmd_farm_status(args) -> int:
+    from repro.farm import Farm
+
+    farm = Farm(args.farm)
+    job_ids = farm.job_ids()
+    spooled = sorted(p.name for p in farm.spool_dir.glob("*.json"))
+    print(f"farm {farm.root}: {len(job_ids)} job(s), "
+          f"{len(spooled)} spooled submission(s), "
+          f"{len(farm.worker_ids())} worker store(s)")
+    rows = []
+    for job_id in job_ids:
+        progress = farm.progress(job_id)
+        rows.append({
+            "job": job_id,
+            "units": progress.units,
+            "done": progress.done,
+            "failed": progress.failed,
+            "leased": progress.leased,
+            "state": ("assembled" if farm.result_path(job_id).exists()
+                      else "complete" if progress.complete else "running"),
+        })
+    if rows:
+        print(format_table(rows, title="jobs"))
+    return 0
+
+
+def cmd_store(args) -> int:
+    store = RunStore(args.cache_dir)
+    if args.store_command == "stats":
+        stats = store.stats()
+        stats["documents"] = len(store.document_digests())
+        stats["index_lines"] = sum(1 for _ in store.index_entries())
+        print(format_table(
+            [{"statistic": k, "value": v} for k, v in stats.items()],
+            title=f"run store — {args.cache_dir}",
+        ))
+        return 0
+    if args.store_command == "compact":
+        before, after = store.compact()
+        print(f"index compacted: {before} → {after} line(s)")
+        return 0
+    # merge
+    total = None
+    for source in args.sources:
+        report = store.merge_from(RunStore(source))
+        print(f"merged {source}: {report.summary()}")
+        total = report if total is None else total + report
+    if total is not None and len(args.sources) > 1:
+        print(f"total: {total.summary()}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     if args.file:
         on_error = "skip" if args.lenient else "raise"
@@ -608,6 +771,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "runs (1-based); machines sharing a cache dir "
                         "split the grid")
     p.add_argument("--workers", type=int, default=1, help="process pool size")
+    p.add_argument("--farm", default=None, metavar="DIR",
+                   help="submit the grid to this farm directory's spool "
+                        "instead of executing locally (see `repro farm`)")
     p.add_argument("--output", default=None,
                    help="write the assembled grid analysis JSON here")
     group = p.add_argument_group("resilience")
@@ -695,6 +861,85 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="I/N", help="execute only the I-th of N "
                    "content-hash buckets of the sweep")
     p.set_defaults(fn=cmd_market)
+
+    p = sub.add_parser(
+        "farm",
+        help="work-stealing grid farm over a shared directory",
+    )
+    farm_sub = p.add_subparsers(dest="farm_command", required=True)
+
+    fp = farm_sub.add_parser(
+        "worker", help="claim and execute work units from a farm",
+    )
+    fp.add_argument("--farm", required=True, metavar="DIR")
+    fp.add_argument("--worker-id", default=None,
+                    help="stable worker identity (default: <host>-<pid>)")
+    fp.add_argument("--lease", type=float, default=60.0, metavar="SECONDS",
+                    help="lease duration; a worker silent this long is "
+                         "presumed dead and its unit is stolen")
+    fp.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                    help="idle poll interval")
+    fp.add_argument("--exit-when-done", action="store_true",
+                    help="exit once every known job is resolved "
+                         "(default: keep polling for new jobs)")
+    fp.add_argument("--max-units", type=int, default=None,
+                    help="exit after executing this many units")
+    fp.add_argument("--max-idle", type=float, default=None, metavar="SECONDS",
+                    help="exit after this long with nothing claimable")
+    fp.set_defaults(fn=cmd_farm_worker)
+
+    fp = farm_sub.add_parser(
+        "sync", help="merge every worker store into the farm store",
+    )
+    fp.add_argument("--farm", required=True, metavar="DIR")
+    fp.set_defaults(fn=cmd_farm_sync)
+
+    fp = farm_sub.add_parser(
+        "serve", help="long-running service: watch the spool, drive jobs",
+    )
+    fp.add_argument("--farm", required=True, metavar="DIR")
+    fp.add_argument("--poll", type=float, default=1.0, metavar="SECONDS")
+    fp.add_argument("--max-jobs", type=int, default=None,
+                    help="exit after completing this many jobs")
+    fp.add_argument("--exit-when-idle", action="store_true",
+                    help="exit when no submissions or incomplete jobs remain")
+    fp.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                    help="abort (non-zero) if jobs are still incomplete "
+                         "after this long")
+    fp.add_argument("--self-execute", action="store_true",
+                    help="also execute claimable units in-process "
+                         "(a one-command single-box farm)")
+    fp.add_argument("--workers", type=int, default=0, metavar="N",
+                    help="spawn N local worker subprocesses for the "
+                         "service's lifetime")
+    fp.set_defaults(fn=cmd_farm_serve)
+
+    fp = farm_sub.add_parser("status", help="show jobs and their progress")
+    fp.add_argument("--farm", required=True, metavar="DIR")
+    fp.set_defaults(fn=cmd_farm_status)
+
+    p = sub.add_parser("store", help="run-store maintenance")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    sp = store_sub.add_parser("stats", help="summarise a run store directory")
+    sp.add_argument("cache_dir", metavar="DIR")
+    sp.set_defaults(fn=cmd_store)
+
+    sp = store_sub.add_parser(
+        "compact",
+        help="rewrite index.jsonl to one line per live run (atomic)",
+    )
+    sp.add_argument("cache_dir", metavar="DIR")
+    sp.set_defaults(fn=cmd_store)
+
+    sp = store_sub.add_parser(
+        "merge",
+        help="union source stores into a destination store "
+             "(dedupe identical digests, quarantine conflicts)",
+    )
+    sp.add_argument("cache_dir", metavar="DEST")
+    sp.add_argument("sources", nargs="+", metavar="SRC")
+    sp.set_defaults(fn=cmd_store)
 
     p = sub.add_parser("trace", help="workload statistics (SWF or synthetic)")
     p.add_argument("--file", help="SWF trace file")

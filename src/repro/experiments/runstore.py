@@ -37,11 +37,23 @@ run document wins.  A corrupt or truncated run document is evidence of a
 crash: it is *quarantined* (moved into ``quarantine/``), counted under
 ``runstore.quarantined``, and treated as a miss.
 
+Stores on different machines (or different worker processes of a
+:mod:`repro.farm` grid farm) converge through :meth:`RunStore.merge_from`:
+the union of two stores is well defined *because* keys are content
+hashes — identical digests with identical bytes dedupe, the same digest
+with differing bytes is a contract violation and both sides are
+quarantined as evidence, and failure journals concatenate so the latest
+record per digest wins.  The append-only ``index.jsonl`` is advisory
+metadata; :meth:`RunStore.compact` rewrites it atomically (dedupe by
+digest, drop entries whose run document is gone) so it stays bounded
+across resumes and merges.
+
 The perf registry sees every store interaction under the ``runstore.*``
 counters (``runstore.hits``, ``runstore.misses``, ``runstore.disk_hits``,
 ``runstore.bytes_written``, ``runstore.bytes_read``,
 ``runstore.corrupt_skipped``, ``runstore.quarantined``,
-``runstore.failures_recorded``).
+``runstore.failures_recorded``, ``runstore.merge_*``,
+``runstore.index_compactions``).
 """
 
 from __future__ import annotations
@@ -199,6 +211,42 @@ def atomic_write_text(path: Path, text: str) -> int:
     tmp.write_bytes(data)
     os.replace(tmp, path)
     return len(data)
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """What one :meth:`RunStore.merge_from` call did.
+
+    ``conflicts`` counts digests whose bytes differed between the two
+    stores — a violation of the content-addressing contract (runs are
+    pure functions of their digest), so *both* documents are moved into
+    quarantine and the cell becomes a re-runnable miss rather than
+    silently trusting either side.
+    """
+
+    runs_copied: int = 0  #: run documents new to the destination
+    runs_deduped: int = 0  #: identical bytes already present (skipped)
+    docs_copied: int = 0  #: generic documents new to the destination
+    docs_deduped: int = 0
+    conflicts: int = 0  #: same digest, differing bytes (both quarantined)
+    corrupt: int = 0  #: unreadable/invalid source documents (quarantined)
+    failure_records: int = 0  #: journal lines appended
+
+    def __add__(self, other: "MergeReport") -> "MergeReport":
+        return MergeReport(
+            *(getattr(self, f.name) + getattr(other, f.name) for f in fields(self))
+        )
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary(self) -> str:
+        return (
+            f"{self.runs_copied} runs + {self.docs_copied} docs merged, "
+            f"{self.runs_deduped + self.docs_deduped} deduped, "
+            f"{self.conflicts} conflicts, {self.corrupt} corrupt, "
+            f"{self.failure_records} failure records"
+        )
 
 
 class RunStore:
@@ -480,6 +528,183 @@ class RunStore:
     def failure_for(self, digest: str) -> Optional[FailureRecord]:
         """The unresolved failure journaled for one digest, if any."""
         return self.failures().get(digest)
+
+    # -- merge / sync --------------------------------------------------------
+    def _quarantine_bytes(self, name: str, data: bytes) -> None:
+        """Preserve foreign evidence bytes under ``quarantine/<name>``.
+
+        Unlike :meth:`_quarantine` this *copies* (the source file belongs
+        to another store and may be a read-only rsync snapshot).  The same
+        collision numbering guarantees nothing is ever overwritten.
+        """
+        assert self.cache_dir is not None
+        qdir = self.cache_dir / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            target = qdir / name
+            n = 0
+            while target.exists():
+                n += 1
+                target = qdir / f"{name}.{n}"
+            target.write_bytes(data)
+        except OSError:
+            return
+        if PERF.enabled:
+            PERF.incr("runstore.quarantined")
+
+    def _merge_tree(self, other: "RunStore", kind: str) -> MergeReport:
+        """Union one document tree (``runs`` or ``docs``) from ``other``."""
+        assert self.cache_dir is not None and other.cache_dir is not None
+        report = MergeReport()
+        for src in sorted((other.cache_dir / kind).glob("??/*.json")):
+            digest = src.stem
+            try:
+                data = src.read_bytes()
+            except OSError:
+                report += MergeReport(corrupt=1)
+                continue
+            try:
+                doc = json.loads(data.decode("utf-8"))
+                if not isinstance(doc, dict) or doc.get("key") != digest:
+                    raise StoreError(f"document does not match its digest {digest}")
+                if kind == "runs":
+                    load_run_document(doc)
+                elif not isinstance(doc.get("format"), str) or not doc["format"]:
+                    raise StoreError("generic document without a 'format' marker")
+            except (StoreError, ValueError, UnicodeDecodeError):
+                # A corrupt source document is evidence of a crash on the
+                # worker side: keep the bytes, skip the digest, carry on.
+                self._quarantine_bytes(src.name, data)
+                report += MergeReport(corrupt=1)
+                continue
+            dst = self.cache_dir / kind / digest[:2] / f"{digest}.json"
+            if dst.exists():
+                try:
+                    ours = dst.read_bytes()
+                except OSError:
+                    ours = None
+                if ours == data:
+                    report += (
+                        MergeReport(runs_deduped=1)
+                        if kind == "runs"
+                        else MergeReport(docs_deduped=1)
+                    )
+                    continue
+                # Same digest, different bytes: the purity contract is
+                # broken somewhere.  Trusting either side would silently
+                # poison every later resume, so quarantine both and let
+                # the cell re-run.
+                self._quarantine(dst)
+                self._quarantine_bytes(src.name, data)
+                self._memory.pop(digest, None)
+                self._docs.pop(digest, None)
+                report += MergeReport(conflicts=1)
+                continue
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(dst, data.decode("utf-8"))
+            if kind == "runs":
+                config = doc.get("config", {})
+                line = json.dumps(
+                    {
+                        "key": digest,
+                        "policy": doc.get("policy", ""),
+                        "model": doc.get("model", ""),
+                        "seed": config.get("seed"),
+                        "n_jobs": config.get("n_jobs"),
+                    },
+                    sort_keys=True,
+                )
+                with open(self.cache_dir / "index.jsonl", "a", encoding="utf-8") as fh:
+                    fh.write(line + "\n")
+                report += MergeReport(runs_copied=1)
+            else:
+                report += MergeReport(docs_copied=1)
+        return report
+
+    def merge_from(self, other: "RunStore") -> MergeReport:
+        """Union another store's artefacts into this one.
+
+        The three artefact families merge by their own disciplines:
+
+        - ``runs/`` and ``docs/`` — content-addressed documents.  A digest
+          new to this store is copied (atomically); identical bytes
+          dedupe; *conflicting* bytes for the same digest quarantine both
+          sides (see :class:`MergeReport`); a corrupt source document is
+          quarantined and counted, never merged.
+        - ``failures.jsonl`` — journals concatenate (this store's lines
+          first, then the source's), so :meth:`failures`' latest-record-
+          wins rule resolves overlapping digests in favour of the merged
+          source, and a digest whose run document arrived in the same
+          merge is resolved outright.
+
+        Both stores must be disk-backed.  The index is compacted
+        afterwards so repeated syncs cannot grow it without bound.
+        Merging never mutates ``other``.
+        """
+        if self.cache_dir is None or other.cache_dir is None:
+            raise StoreError("merge_from requires disk-backed stores on both sides")
+        report = self._merge_tree(other, "runs") + self._merge_tree(other, "docs")
+        journal = other.cache_dir / "failures.jsonl"
+        try:
+            lines = journal.read_text().splitlines()
+        except OSError:
+            lines = []
+        appended = 0
+        for line in lines:
+            try:
+                record = FailureRecord.from_dict(json.loads(line))
+            except ValueError:
+                continue
+            self.record_failure(record)
+            appended += 1
+        report += MergeReport(failure_records=appended)
+        self.compact()
+        if PERF.enabled:
+            PERF.incr("runstore.merges")
+            PERF.incr("runstore.merge_runs_copied", report.runs_copied)
+            PERF.incr("runstore.merge_docs_copied", report.docs_copied)
+            PERF.incr("runstore.merge_deduped",
+                      report.runs_deduped + report.docs_deduped)
+            PERF.incr("runstore.merge_conflicts", report.conflicts)
+            PERF.incr("runstore.merge_corrupt", report.corrupt)
+        return report
+
+    def compact(self) -> tuple[int, int]:
+        """Atomically rewrite ``index.jsonl`` to one line per live run.
+
+        The index is append-only during normal operation, so resumes,
+        retries, and merges grow it without bound.  Compaction dedupes by
+        digest (last record wins, first-seen order preserved), drops
+        malformed lines and entries whose run document no longer exists
+        (e.g. quarantined by a merge conflict), and rewrites via the same
+        tmp+rename discipline as every document.  Returns
+        ``(lines_before, lines_after)``; a memory-only store is a no-op.
+        """
+        if self.cache_dir is None:
+            return (0, 0)
+        path = self.cache_dir / "index.jsonl"
+        try:
+            lines = path.read_text().splitlines()
+        except OSError:
+            return (0, 0)
+        on_disk = self.disk_digests()
+        latest: dict[str, dict] = {}
+        for line in lines:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            key = entry.get("key") if isinstance(entry, dict) else None
+            if key in on_disk:
+                # dict insertion order keeps first-seen position while the
+                # assignment keeps the latest record's content.
+                latest[key] = entry
+        text = "".join(json.dumps(e, sort_keys=True) + "\n" for e in latest.values())
+        atomic_write_text(path, text)
+        if PERF.enabled:
+            PERF.incr("runstore.index_compactions")
+            PERF.incr("runstore.index_lines_dropped", len(lines) - len(latest))
+        return (len(lines), len(latest))
 
     # -- introspection -------------------------------------------------------
     def __len__(self) -> int:

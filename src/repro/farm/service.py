@@ -1,0 +1,126 @@
+"""``repro farm serve``: the long-running grid-service mode.
+
+The service is a :class:`~repro.farm.coordinator.Coordinator` in a loop:
+it watches ``<farm>/spool/`` for submitted plan files (what
+``repro grid --farm <dir>`` writes), explodes each into a job, steals
+back expired leases every poll, and — when a job's last unit resolves —
+syncs the worker stores and assembles ``result.json``.  Execution itself
+belongs to the ``repro farm worker`` fleet; with ``self_execute=True``
+the service additionally drains claimable units in-process between
+polls, so a single ``repro farm serve --self-execute`` is a complete
+one-box farm (and the degraded mode a service falls back to when its
+fleet disappears entirely).
+
+The loop is crash-tolerant by the same argument as everything else here:
+all state is marker files and content-addressed stores, so a service
+that dies is replaced by starting another one — it re-accepts nothing
+(the spool file is gone), re-explodes nothing (unit creation is
+idempotent), and re-assembles only jobs without a ``result.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from repro.farm.coordinator import Coordinator, Farm, FarmError
+from repro.farm.worker import WorkerAgent
+from repro.perf.registry import PERF
+
+
+class FarmService:
+    """Spool watcher + coordinator loop (one instance per farm is typical)."""
+
+    def __init__(
+        self,
+        farm: Farm,
+        poll_interval: float = 1.0,
+        self_execute: bool = False,
+        worker_id: Optional[str] = None,
+        clock: Callable[[], float] = time.time,
+        sleep: Callable[[float], None] = time.sleep,
+        echo: Callable[[str], None] = lambda line: None,
+    ) -> None:
+        self.farm = farm
+        self.poll_interval = poll_interval
+        self.clock = clock
+        self.sleep = sleep
+        self.echo = echo
+        self.coordinator = Coordinator(
+            farm, poll_interval=poll_interval, clock=clock, sleep=sleep
+        )
+        self.worker: Optional[WorkerAgent] = None
+        if self_execute:
+            self.worker = WorkerAgent(
+                farm, worker_id=worker_id, clock=clock, sleep=sleep
+            )
+
+    def incomplete_jobs(self) -> list[str]:
+        return [
+            job_id for job_id in self.farm.job_ids()
+            if not self.farm.result_path(job_id).exists()
+        ]
+
+    def poll_once(self) -> List[str]:
+        """One service cycle; returns the job ids completed this cycle."""
+        accepted = self.farm.accept_submissions()
+        for job_id in accepted:
+            self.echo(f"accepted job {job_id} "
+                      f"({self.farm.progress(job_id).units} units)")
+        completed: List[str] = []
+        for job_id in self.incomplete_jobs():
+            reaped = self.coordinator.reap(job_id)
+            if reaped:
+                self.echo(f"job {job_id}: stole back {reaped} expired lease(s)")
+            if self.worker is not None:
+                self.worker.run(drain=True)
+            progress = self.farm.progress(job_id)
+            if progress.complete:
+                grid = self.coordinator.assemble(job_id)
+                completed.append(job_id)
+                state = (
+                    f"degraded ({len(grid.gaps)} gaps)" if grid.degraded
+                    else "complete"
+                )
+                self.echo(
+                    f"job {job_id} {state}: {progress.done} done, "
+                    f"{progress.failed} failed → "
+                    f"{self.farm.result_path(job_id)}"
+                )
+        if PERF.enabled:
+            PERF.incr("farm.service_polls")
+        return completed
+
+    def serve(
+        self,
+        max_jobs: Optional[int] = None,
+        exit_when_idle: bool = False,
+        timeout: Optional[float] = None,
+    ) -> List[str]:
+        """Run the service loop; returns every job id completed.
+
+        ``max_jobs`` exits after that many completions (CI smoke drives
+        exactly one job); ``exit_when_idle`` exits once neither spool
+        files nor incomplete jobs remain; ``timeout`` bounds the whole
+        call with a :class:`FarmError`.  With none of the three the loop
+        runs until interrupted — the long-running service.
+        """
+        completed: List[str] = []
+        deadline = None if timeout is None else self.clock() + timeout
+        while True:
+            completed.extend(self.poll_once())
+            if max_jobs is not None and len(completed) >= max_jobs:
+                return completed
+            if exit_when_idle:
+                idle = (
+                    not self.incomplete_jobs()
+                    and not any(self.farm.spool_dir.glob("*.json"))
+                )
+                if idle:
+                    return completed
+            if deadline is not None and self.clock() > deadline:
+                raise FarmError(
+                    f"service timed out after {timeout:g}s with "
+                    f"{len(self.incomplete_jobs())} incomplete job(s)"
+                )
+            self.sleep(self.poll_interval)

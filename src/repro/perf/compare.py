@@ -102,6 +102,38 @@ def regressions(deltas: Sequence[MetricDelta]) -> list[MetricDelta]:
     return [d for d in deltas if d.regressed]
 
 
+def _metric_group(name: str) -> str:
+    """Collapse a metric name to its family (``farm_runs_per_sec`` → ``farm_*``)."""
+    head, sep, _ = name.partition("_")
+    return f"{head}_*" if sep else name
+
+
+def summarize_one_sided(base_names, cur_names) -> list[str]:
+    """At most one note line per side for metrics absent on that side.
+
+    New benchmarks routinely add whole metric families, so a one-line-per-
+    metric note drowns the comparison table.  Instead the absent names are
+    grouped by family: ``note: 5 metric(s) absent in baseline: farm_* (3),
+    market_* (2)``.  Singleton families keep their full name.
+    """
+    lines: list[str] = []
+    for side, names in (
+        ("baseline", sorted(set(cur_names) - set(base_names))),
+        ("current", sorted(set(base_names) - set(cur_names))),
+    ):
+        if not names:
+            continue
+        groups: dict[str, list[str]] = {}
+        for name in names:
+            groups.setdefault(_metric_group(name), []).append(name)
+        parts = ", ".join(
+            f"{group} ({len(members)})" if len(members) > 1 else members[0]
+            for group, members in sorted(groups.items())
+        )
+        lines.append(f"note: {len(names)} metric(s) absent in {side}: {parts}")
+    return lines
+
+
 def format_deltas(deltas: Sequence[MetricDelta]) -> str:
     """Human-readable comparison table."""
     from repro.experiments.report import format_table
@@ -146,9 +178,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     deltas = compare_metrics(base, cur, threshold_pct=args.threshold)
     print(format_deltas(deltas))
-    missing = sorted(set(base["metrics"]) ^ set(cur["metrics"]))
-    if missing:
-        print(f"note: metrics present on one side only: {', '.join(missing)}")
+    for line in summarize_one_sided(base["metrics"], cur["metrics"]):
+        print(line)
     bad = regressions(deltas)
     if bad:
         print(

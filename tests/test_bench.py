@@ -226,3 +226,47 @@ def test_load_bench_rejects_non_bench_json(tmp_path):
     path.write_text("{}")
     with pytest.raises(ValueError):
         load_bench(path)
+
+
+def test_bench_farm_prices_lease_overhead(tmp_path):
+    from repro.bench import bench_farm
+
+    metrics = bench_farm(TINY)
+    assert metrics["farm_units"] == 6
+    assert metrics["farm_runs_per_sec"] > 0
+    assert metrics["farm_direct_runs_per_sec"] > 0
+    assert metrics["farm_overhead_x"] > 0
+    # The overhead ratio is informational by design: never a CI gate.
+    assert metric_direction("farm_overhead_x") == "info"
+
+
+def test_one_sided_metrics_summarize_to_one_line_per_side():
+    from repro.perf.compare import summarize_one_sided
+
+    base = {"engine_events_per_sec": 1.0, "old_counter": 2.0}
+    cur = {"engine_events_per_sec": 1.0, "farm_units": 6, "farm_runs_per_sec": 9.0,
+           "farm_overhead_x": 1.2, "market_wall_s": 0.5}
+    lines = summarize_one_sided(base, cur)
+    assert len(lines) == 2  # one per side, however many metrics moved
+    absent_base, absent_cur = lines
+    # Families are grouped with a count; singletons keep their full name.
+    assert absent_base == (
+        "note: 4 metric(s) absent in baseline: farm_* (3), market_wall_s"
+    )
+    assert absent_cur == "note: 1 metric(s) absent in current: old_counter"
+    # Identical metric sets produce no notes at all.
+    assert summarize_one_sided(base, base) == []
+
+
+def test_compare_cli_emits_grouped_one_sided_note(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(_payload({"engine_events_per_sec": 1000.0})))
+    cur.write_text(json.dumps(_payload({
+        "engine_events_per_sec": 1000.0,
+        "farm_units": 6, "farm_runs_per_sec": 9.0, "farm_overhead_x": 1.2,
+    })))
+    assert compare_main([str(base), str(cur)]) == 0  # new metrics never fail
+    out = capsys.readouterr().out
+    assert "note: 3 metric(s) absent in baseline: farm_* (3)" in out
+    assert out.count("note:") == 1

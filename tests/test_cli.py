@@ -334,3 +334,97 @@ def test_market_argument_validation(capsys):
     )
     assert code == 2
     assert "single runs only" in err
+
+
+# -- farm + store maintenance commands -----------------------------------------
+
+
+def test_grid_farm_submits_instead_of_executing(tmp_path, capsys):
+    farm_dir = tmp_path / "farm"
+    code, out, _ = run_cli(
+        capsys, "grid", "--policies", "FCFS-BF", "Libra",
+        "--scenario", "job mix", "--jobs", "20", "--procs", "16",
+        "--farm", str(farm_dir),
+    )
+    assert code == 0
+    assert "submitted job" in out and "(12 units)" in out
+    assert "farm serve" in out  # tells the operator how to drive it
+    spooled = list((farm_dir / "spool").glob("*.json"))
+    assert len(spooled) == 1
+
+    code, out, _ = run_cli(capsys, "farm", "status", "--farm", str(farm_dir))
+    assert code == 0
+    assert "0 job(s), 1 spooled submission(s)" in out
+
+
+def test_grid_farm_rejects_unknown_scenario(tmp_path, capsys):
+    code, _, err = run_cli(capsys, "grid", "--scenario", "no such row",
+                           "--farm", str(tmp_path / "farm"))
+    assert code == 2
+    assert "unknown scenario" in err
+
+
+def test_farm_serve_self_execute_end_to_end(tmp_path, capsys):
+    farm_dir = tmp_path / "farm"
+    run_cli(
+        capsys, "grid", "--policies", "FCFS-BF", "--scenario", "job mix",
+        "--jobs", "8", "--procs", "16", "--farm", str(farm_dir),
+    )
+    code, out, _ = run_cli(
+        capsys, "farm", "serve", "--farm", str(farm_dir),
+        "--poll", "0.01", "--max-jobs", "1", "--timeout", "120",
+        "--self-execute",
+    )
+    assert code == 0
+    assert "accepted job" in out and "served 1 job(s)" in out
+    from repro.farm import Farm
+
+    farm = Farm(farm_dir)
+    [job_id] = farm.job_ids()
+    assert farm.result_path(job_id).exists()
+    code, out, _ = run_cli(capsys, "farm", "status", "--farm", str(farm_dir))
+    assert code == 0
+    assert "assembled" in out
+
+    code, out, _ = run_cli(capsys, "farm", "sync", "--farm", str(farm_dir))
+    assert code == 0
+    assert "sync" in out and "6 runs on disk" in out
+
+
+def test_farm_worker_exits_on_max_units(tmp_path, capsys):
+    code, out, _ = run_cli(
+        capsys, "farm", "worker", "--farm", str(tmp_path / "farm"),
+        "--worker-id", "w0", "--max-units", "0",
+    )
+    assert code == 0
+    assert "exiting after 0 unit(s)" in out
+
+
+def test_store_stats_compact_and_merge(tmp_path, capsys):
+    from repro.core.objectives import ObjectiveSet
+    from repro.experiments.runstore import RunStore
+    from repro.experiments.scenarios import ExperimentConfig
+
+    config = ExperimentConfig(n_jobs=10, total_procs=16)
+    objs = ObjectiveSet(wait=1.0, sla=2.0, reliability=3.0, profitability=4.0)
+    a = RunStore(tmp_path / "a")
+    a.put(config, "FCFS-BF", "bid", objs)
+    a.put(config, "FCFS-BF", "bid", objs)  # duplicate index line
+    b = RunStore(tmp_path / "b")
+    b.put(config, "Libra", "bid", objs)
+
+    code, out, _ = run_cli(capsys, "store", "stats", str(tmp_path / "a"))
+    assert code == 0
+    assert "disk_runs" in out and "index_lines" in out
+
+    code, out, _ = run_cli(capsys, "store", "compact", str(tmp_path / "a"))
+    assert code == 0
+    assert "index compacted: 2 → 1 line(s)" in out
+
+    code, out, _ = run_cli(
+        capsys, "store", "merge", str(tmp_path / "dest"),
+        str(tmp_path / "a"), str(tmp_path / "b"),
+    )
+    assert code == 0
+    assert out.count("merged /") == 2 and "total:" in out
+    assert len(RunStore(tmp_path / "dest").disk_digests()) == 2

@@ -1,0 +1,295 @@
+"""Tests for the work-stealing grid farm (repro.farm).
+
+The farm's headline contract — a farmed grid is bit-identical to a serial
+one — is asserted end to end, along with the protocol pieces it rests on:
+content-addressed plans and units, crash-tolerant lease files, idempotent
+job explosion, store sync, and the spool-watching service loop.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.pipeline import ExecutionPolicy
+from repro.experiments.runner import RunCache, run_grid
+from repro.experiments.runstore import RunKey, RunStore, StoreError
+from repro.experiments.scenarios import ExperimentConfig, scenario_by_name
+from repro.experiments.store import grid_to_dict
+from repro.farm import (
+    Coordinator,
+    Farm,
+    FarmError,
+    FarmPlan,
+    FarmService,
+    WorkerAgent,
+    leases,
+    plan_from_args,
+)
+from repro.farm.plan import load_plan_text, unit_document, unit_from_document
+
+SMALL = ExperimentConfig(n_jobs=20, total_procs=16)
+POLICIES = ["FCFS-BF", "Libra"]
+SCENARIO = "job mix"
+
+
+def small_plan(**kwargs) -> FarmPlan:
+    return plan_from_args(POLICIES, "bid", SMALL, "A", scenarios=(SCENARIO,),
+                          **kwargs)
+
+
+def serial_reference() -> dict:
+    return grid_to_dict(
+        run_grid(POLICIES, "bid", SMALL, "A", [scenario_by_name(SCENARIO)],
+                 RunCache())
+    )
+
+
+# -- plans ---------------------------------------------------------------------
+
+
+def test_plan_roundtrips_and_digest_is_stable():
+    plan = small_plan(on_error="degrade")
+    back = FarmPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+    assert back == plan
+    assert back.digest == plan.digest
+    assert len(plan.job_id) == 12
+    # The digest is content addressing: any knob change moves the job id.
+    assert small_plan().digest != plan.digest
+
+
+def test_plan_units_match_grid_plan_dedup():
+    plan = small_plan()
+    units = plan.unique_units()
+    assert len(units) == 12  # 6 scenario values × 2 policies, no dupes here
+    digests = [d for _, d in units]
+    assert len(set(digests)) == len(digests)
+    assert all(RunKey(*item).digest == d for item, d in units)
+
+
+def test_plan_rejects_unknown_execution_knobs():
+    with pytest.raises(ValueError, match="unknown execution knobs"):
+        FarmPlan(policies=("FCFS-BF",), model="bid",
+                 execution={"poll_interval": 1.0})
+
+
+def test_plan_rejects_foreign_and_newer_documents():
+    with pytest.raises(StoreError, match="not a repro-farm-plan"):
+        load_plan_text(json.dumps({"format": "something-else"}))
+    newer = small_plan().to_dict()
+    newer["version"] = 99
+    with pytest.raises(StoreError, match="newer than this code"):
+        load_plan_text(json.dumps(newer))
+    with pytest.raises(StoreError, match="not valid JSON"):
+        load_plan_text("{trunca")
+
+
+def test_unit_document_roundtrip():
+    plan = small_plan()
+    item, digest = plan.unique_units()[0]
+    back_item, back_digest = unit_from_document(
+        json.loads(json.dumps(unit_document(item, digest)))
+    )
+    assert back_digest == digest
+    assert RunKey(*back_item).digest == digest
+
+
+def test_plan_execution_policy_carries_knobs():
+    plan = small_plan(run_timeout=5.0, max_retries=7, on_error="degrade")
+    policy = plan.execution_policy()
+    assert isinstance(policy, ExecutionPolicy)
+    assert (policy.run_timeout, policy.max_retries, policy.on_error) == \
+        (5.0, 7, "degrade")
+    assert plan.on_error == "degrade"
+
+
+# -- leases --------------------------------------------------------------------
+
+
+def test_lease_acquire_is_exclusive_and_releasable(tmp_path):
+    path = tmp_path / "d.json"
+    ours = leases.acquire(path, "d", "w1", duration=60.0, clock=lambda: 100.0)
+    assert ours is not None and ours.worker == "w1"
+    assert leases.acquire(path, "d", "w2", duration=60.0, clock=lambda: 100.0) is None
+    leases.release(path, ours)
+    assert not path.exists()
+    # releasing someone else's lease is a no-op
+    again = leases.acquire(path, "d", "w2", duration=60.0, clock=lambda: 100.0)
+    leases.release(path, ours)
+    assert leases.read_lease(path) == again
+
+
+def test_lease_renew_pushes_deadline_and_detects_loss(tmp_path):
+    path = tmp_path / "d.json"
+    lease = leases.acquire(path, "d", "w1", duration=10.0, clock=lambda: 100.0)
+    renewed = leases.renew(path, lease, duration=10.0, clock=lambda: 105.0)
+    assert renewed.deadline == 115.0
+    # A rival who stole and re-acquired owns the file now: renew must fail.
+    leases.steal(path)
+    leases.acquire(path, "d", "w2", duration=10.0, clock=lambda: 120.0)
+    assert leases.renew(path, renewed, duration=10.0, clock=lambda: 121.0) is None
+
+
+def test_expired_lease_is_stolen_on_acquire(tmp_path):
+    path = tmp_path / "d.json"
+    leases.acquire(path, "d", "dead", duration=10.0, clock=lambda: 100.0)
+    # Live at t=105: still exclusive.
+    assert leases.acquire(path, "d", "w2", duration=10.0, clock=lambda: 105.0) is None
+    # Expired at t=111: the claimant steals and takes over in one call.
+    taken = leases.acquire(path, "d", "w2", duration=10.0, clock=lambda: 111.0)
+    assert taken is not None and taken.worker == "w2"
+
+
+def test_reap_expired_sweeps_only_stale_leases(tmp_path):
+    leases.acquire(tmp_path / "a.json", "a", "dead", duration=10.0,
+                   clock=lambda: 100.0)
+    leases.acquire(tmp_path / "b.json", "b", "alive", duration=100.0,
+                   clock=lambda: 100.0)
+    assert leases.reap_expired(tmp_path, clock=lambda: 120.0) == 1
+    assert not (tmp_path / "a.json").exists()
+    assert (tmp_path / "b.json").exists()
+
+
+# -- farm layout and job lifecycle ---------------------------------------------
+
+
+def test_create_job_is_idempotent(tmp_path):
+    farm = Farm(tmp_path)
+    plan = small_plan()
+    job_id = farm.create_job(plan)
+    units = sorted(p.name for p in farm.units_dir(job_id).glob("*.json"))
+    assert len(units) == 12
+    assert farm.create_job(plan) == job_id  # resume, not duplicate
+    assert sorted(p.name for p in farm.units_dir(job_id).glob("*.json")) == units
+    assert farm.load_plan(job_id) == plan
+
+
+def test_submission_spool_roundtrip_and_rejection(tmp_path):
+    farm = Farm(tmp_path)
+    plan = small_plan()
+    path = farm.submit(plan)
+    assert path.parent == farm.spool_dir
+    (farm.spool_dir / "garbage.json").write_text("{nope")
+    accepted = farm.accept_submissions()
+    assert accepted == [plan.job_id]
+    assert not path.exists()
+    rejected = list(farm.spool_dir.glob("*.rejected"))
+    assert len(rejected) == 1
+    assert farm.job_ids() == [plan.job_id]
+
+
+def test_progress_counts_markers(tmp_path):
+    farm = Farm(tmp_path)
+    job_id = farm.create_job(small_plan())
+    progress = farm.progress(job_id)
+    assert (progress.units, progress.done, progress.outstanding) == (12, 0, 12)
+    assert not progress.complete
+
+
+# -- end-to-end: single worker -------------------------------------------------
+
+
+def test_single_worker_farm_is_bit_identical_to_serial(tmp_path):
+    reference = serial_reference()
+    farm = Farm(tmp_path)
+    job_id = farm.create_job(small_plan())
+    executed = WorkerAgent(farm, worker_id="w0").run(drain=True)
+    assert executed == 12
+    grid = Coordinator(farm, poll_interval=0.01).drive(job_id, timeout=60.0)
+    assert not grid.degraded
+    result = json.loads(farm.result_path(job_id).read_text())
+    assert result == reference
+    assert grid_to_dict(grid) == reference
+
+
+def test_two_workers_split_the_job_and_merge(tmp_path):
+    reference = serial_reference()
+    farm = Farm(tmp_path)
+    job_id = farm.create_job(small_plan())
+    first = WorkerAgent(farm, worker_id="w1").run(max_units=5)
+    second = WorkerAgent(farm, worker_id="w2").run(drain=True)
+    assert (first, second) == (5, 7)
+    assert len(RunStore(farm.worker_store_dir("w1")).disk_digests()) == 5
+    assert len(RunStore(farm.worker_store_dir("w2")).disk_digests()) == 7
+    Coordinator(farm, poll_interval=0.01).drive(job_id, timeout=60.0)
+    assert len(farm.store().disk_digests()) == 12
+    assert json.loads(farm.result_path(job_id).read_text()) == reference
+
+
+def test_dead_workers_lease_is_stolen_and_job_completes(tmp_path):
+    reference = serial_reference()
+    farm = Farm(tmp_path)
+    job_id = farm.create_job(small_plan())
+    # The "dead" worker claims a unit with an already-expired lease and
+    # never executes it — exactly what a SIGKILL after claim leaves behind.
+    dead = WorkerAgent(farm, worker_id="dead", lease_duration=-1.0)
+    claimed = dead.claim_next()
+    assert claimed is not None
+    assert farm.progress(job_id).leased == 1
+
+    survivor = WorkerAgent(farm, worker_id="survivor")
+    assert survivor.run(drain=True) == 12  # stole the orphan, ran everything
+    grid = Coordinator(farm, poll_interval=0.01).drive(job_id, timeout=60.0)
+    assert not grid.degraded and not grid.gaps
+    assert farm.progress(job_id).leased == 0
+    assert json.loads(farm.result_path(job_id).read_text()) == reference
+
+
+def test_failed_unit_degrades_with_gap_accounting(tmp_path):
+    farm = Farm(tmp_path)
+    # An impossible event budget fails every attempt; degrade-mode assembly
+    # must turn the failures into journaled gaps, not a crash.
+    plan = small_plan(max_sim_events=10, max_retries=1, backoff_base=0.01,
+                      on_error="degrade")
+    job_id = farm.create_job(plan)
+    executed = WorkerAgent(farm, worker_id="w0").run(drain=True)
+    assert executed == 12
+    progress = farm.progress(job_id)
+    assert progress.failed == 12 and progress.complete
+    grid = Coordinator(farm, poll_interval=0.01).drive(job_id, timeout=60.0)
+    assert grid.degraded and len(grid.gaps) == 12
+    assert len(farm.store().failures()) == 12
+
+
+def test_coordinator_wait_times_out_without_workers(tmp_path):
+    farm = Farm(tmp_path)
+    job_id = farm.create_job(small_plan())
+    clock = iter(float(t) for t in range(0, 1000, 10))
+    coordinator = Coordinator(farm, poll_interval=0.0,
+                              clock=lambda: next(clock), sleep=lambda _: None)
+    with pytest.raises(FarmError, match="outstanding"):
+        coordinator.wait(job_id, timeout=20.0)
+
+
+# -- service mode --------------------------------------------------------------
+
+
+def test_service_picks_up_spool_and_self_executes(tmp_path):
+    reference = serial_reference()
+    farm = Farm(tmp_path)
+    plan = small_plan()
+    farm.submit(plan)
+    lines = []
+    service = FarmService(farm, poll_interval=0.01, self_execute=True,
+                          worker_id="svc", echo=lines.append)
+    completed = service.serve(max_jobs=1, timeout=120.0)
+    assert completed == [plan.job_id]
+    assert json.loads(farm.result_path(plan.job_id).read_text()) == reference
+    assert any("accepted job" in line for line in lines)
+    assert any("complete" in line for line in lines)
+
+
+def test_service_exit_when_idle_with_empty_farm(tmp_path):
+    service = FarmService(Farm(tmp_path), poll_interval=0.01)
+    assert service.serve(exit_when_idle=True) == []
+
+
+def test_sync_is_idempotent(tmp_path):
+    farm = Farm(tmp_path)
+    job_id = farm.create_job(small_plan())
+    WorkerAgent(farm, worker_id="w0").run(drain=True)
+    first = farm.sync()
+    assert first.runs_copied == 12
+    again = farm.sync()
+    assert (again.runs_copied, again.runs_deduped) == (0, 12)
+    assert len(farm.store().disk_digests()) == 12
+    assert farm.progress(job_id).complete

@@ -288,3 +288,119 @@ def test_malformed_faults_block_is_a_store_error():
     doc["faults"] = {"no_such_fault_field": True}
     with pytest.raises(StoreError, match="faults"):
         config_from_dict(doc)
+
+
+# -- merge / sync (the farm's store convergence path) --------------------------
+
+
+def seeded_store(path, policies=("FCFS-BF",)) -> RunStore:
+    store = RunStore(path)
+    for policy in policies:
+        store.put(CONFIG, policy, "bid", OBJS)
+    return store
+
+
+def test_merge_copies_new_runs_and_dedupes_identical_bytes(tmp_path):
+    dest = seeded_store(tmp_path / "dest", policies=("FCFS-BF",))
+    src = seeded_store(tmp_path / "src", policies=("FCFS-BF", "Libra"))
+    report = dest.merge_from(src)
+    assert (report.runs_copied, report.runs_deduped) == (1, 1)
+    assert report.conflicts == report.corrupt == 0
+    assert dest.disk_digests() == src.disk_digests()
+    # The merged run is readable through the normal lookup path …
+    assert RunStore(tmp_path / "dest").get(CONFIG, "Libra", "bid") == OBJS
+    # … and a repeated merge is a pure dedupe.
+    again = dest.merge_from(src)
+    assert (again.runs_copied, again.runs_deduped) == (0, 2)
+
+
+def test_merge_conflict_quarantines_both_sides_and_continues(tmp_path):
+    dest = seeded_store(tmp_path / "dest", policies=("FCFS-BF", "Libra"))
+    src = seeded_store(tmp_path / "src", policies=("FCFS-BF", "EDF-BF"))
+    digest = RunKey(CONFIG, "FCFS-BF", "bid").digest
+    # Same digest, different bytes: a forged objective value on the source.
+    path = src.run_path(RunKey(CONFIG, "FCFS-BF", "bid"))
+    doc = json.loads(path.read_text())
+    doc["objectives"]["avg_wait_time"] = 999.0
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+
+    report = dest.merge_from(src)
+    assert report.conflicts == 1
+    assert report.runs_copied == 1  # EDF-BF still merged — one bad cell
+    # Both sides of the conflict are preserved as evidence …
+    quarantined = list((tmp_path / "dest" / "quarantine").glob(f"{digest}*"))
+    assert len(quarantined) == 2
+    # … the cell is a re-runnable miss, and the source store is untouched.
+    assert digest not in dest.disk_digests()
+    assert dest.get(CONFIG, "FCFS-BF", "bid") is None
+    assert digest in src.disk_digests()
+
+
+def test_merge_quarantines_corrupt_source_documents(tmp_path):
+    dest = RunStore(tmp_path / "dest")
+    src = seeded_store(tmp_path / "src", policies=("FCFS-BF", "Libra"))
+    path = src.run_path(RunKey(CONFIG, "FCFS-BF", "bid"))
+    path.write_text('{"format": "repro-run", "version": 1, "key"')  # truncated
+
+    report = dest.merge_from(src)
+    assert (report.runs_copied, report.corrupt) == (1, 1)
+    assert list((tmp_path / "dest" / "quarantine").glob("*.json*"))
+    assert len(dest.disk_digests()) == 1
+
+
+def test_merge_appends_failure_journal_latest_record_wins(tmp_path):
+    digest = "a" * 64
+    dest = RunStore(tmp_path / "dest")
+    dest.record_failure(make_failure(digest, kind="crash"))
+    src = RunStore(tmp_path / "src")
+    src.record_failure(make_failure(digest, kind="timeout"))
+
+    report = dest.merge_from(src)
+    assert report.failure_records == 1
+    # The source's record was appended after ours, so it wins …
+    assert RunStore(tmp_path / "dest").failures()[digest].kind == "timeout"
+    # … and both lines are still in the append-only journal.
+    journal = (tmp_path / "dest" / "failures.jsonl").read_text().splitlines()
+    assert len(journal) == 2
+
+
+def test_merge_requires_disk_backing():
+    with pytest.raises(StoreError, match="disk-backed"):
+        RunStore().merge_from(RunStore())
+
+
+def test_merge_report_sums_and_summarises():
+    from repro.experiments.runstore import MergeReport
+
+    total = MergeReport(runs_copied=2, conflicts=1) + MergeReport(
+        runs_copied=3, corrupt=1, failure_records=4
+    )
+    assert (total.runs_copied, total.conflicts, total.corrupt) == (5, 1, 1)
+    assert "5 runs" in total.summary() and "1 conflicts" in total.summary()
+    assert total.to_dict()["failure_records"] == 4
+
+
+# -- index compaction ----------------------------------------------------------
+
+
+def test_compact_dedupes_index_and_drops_dead_entries(tmp_path):
+    store = RunStore(tmp_path)
+    store.put(CONFIG, "FCFS-BF", "bid", OBJS)
+    store.put(CONFIG, "FCFS-BF", "bid", OBJS)  # duplicate append
+    store.put(CONFIG, "Libra", "bid", OBJS)
+    (tmp_path / "index.jsonl").open("a").write("not json\n")
+    # An entry whose run document is gone must be dropped.
+    gone = RunKey(CONFIG, "EDF-BF", "bid")
+    store.put(CONFIG, "EDF-BF", "bid", OBJS)
+    store.run_path(gone).unlink()
+
+    before, after = store.compact()
+    assert before == 5 and after == 2
+    entries = list(store.index_entries())
+    assert [e["policy"] for e in entries] == ["FCFS-BF", "Libra"]
+    # Compaction is idempotent and the index still parses line by line.
+    assert store.compact() == (2, 2)
+
+
+def test_compact_is_noop_for_memory_store():
+    assert RunStore().compact() == (0, 0)
