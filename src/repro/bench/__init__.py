@@ -83,6 +83,11 @@ class BenchTier:
     fault_mtbf: float = 14_400.0
     fault_mttr: float = 600.0
     fault_recovery: str = "checkpoint"
+    # Correlated-fault variant: the same failure regime plus rack-level
+    # outages and cascades, pricing the fault-domain machinery.
+    fault_domain_size: int = 8
+    fault_domain_mtbf: float = 28_800.0
+    fault_cascade_prob: float = 0.25
     # Population-scale market (§3 extension): cohort backend, one risky
     # and one steady synthetic provider competing for this population.
     market_users: int = 100_000
@@ -287,6 +292,44 @@ def bench_faults(tier: BenchTier) -> dict:
     }
 
 
+def bench_fault_correlated(tier: BenchTier) -> dict:
+    """The fault scenario again, with rack outages and cascades on top.
+
+    Exercises the fault-domain subsystem end to end: the per-node process
+    of :func:`bench_faults` plus whole-rack outages
+    (``fault_domain_mtbf``) and probabilistic cascades
+    (``fault_cascade_prob``), so the wall-clock delta against the plain
+    fault run prices correlation itself.  The ``faults_domain_outages``
+    and ``faults_cascade_propagations`` counts are (seed, config)
+    invariants — a semantic-drift canary exactly like ``faults_injected``.
+    """
+    config = ExperimentConfig(
+        n_jobs=tier.scenario_jobs, total_procs=tier.scenario_procs, seed=tier.seed
+    ).with_values(
+        fault_mtbf=tier.fault_mtbf,
+        fault_mttr=tier.fault_mttr,
+        fault_recovery=tier.fault_recovery,
+        fault_domain_size=tier.fault_domain_size,
+        fault_domain_mtbf=tier.fault_domain_mtbf,
+        fault_cascade_prob=tier.fault_cascade_prob,
+    )
+    with capture() as perf:
+        t0 = time.perf_counter()
+        run_single(config, tier.scenario_policy, tier.scenario_model)
+        wall = time.perf_counter() - t0
+        counters = dict(perf.counters)
+    wall = max(wall, 1e-12)
+    return {
+        "correlated_scenario_wall_s": wall,
+        "correlated_scenario_jobs_per_sec": tier.scenario_jobs / wall,
+        "faults_domain_outages": counters.get("faults.domain_outages", 0),
+        "faults_domain_nodes_down": counters.get("faults.domain_nodes_down", 0),
+        "faults_cascade_propagations": counters.get(
+            "faults.cascade_propagations", 0
+        ),
+    }
+
+
 def bench_market(tier: BenchTier) -> dict:
     """Population-scale market run on the vectorized cohort backend.
 
@@ -431,6 +474,9 @@ def _sim_workload(tier: BenchTier) -> dict:
         "fault_mtbf": tier.fault_mtbf,
         "fault_mttr": tier.fault_mttr,
         "fault_recovery": tier.fault_recovery,
+        "fault_domain_size": tier.fault_domain_size,
+        "fault_domain_mtbf": tier.fault_domain_mtbf,
+        "fault_cascade_prob": tier.fault_cascade_prob,
         "market_users": tier.market_users,
         "market_jobs": tier.market_jobs,
         "seed": tier.seed,
@@ -485,6 +531,7 @@ def run_suite(
         metrics = bench_engine(tier)
         metrics.update(bench_scenario(tier))
         metrics.update(bench_faults(tier))
+        metrics.update(bench_fault_correlated(tier))
         metrics.update(bench_market(tier))
         path = write_bench(out / "BENCH_sim.json", "sim", tier, _sim_workload(tier), metrics)
         written["sim"] = path

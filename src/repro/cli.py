@@ -6,7 +6,8 @@ Commands
 ``table``       regenerate one of the paper's tables (1–6)
 ``run``         simulate one policy on one configuration
 ``grid``        run a Table VI grid through the resumable run store
-``faults``      MTBF sweep: availability-vs-risk table under node failures
+``faults``      availability-vs-risk sweeps: per-node MTBF, or correlated
+                fault domains (``--sweep correlated``)
 ``market``      population-scale provider market (§3): one run or a risk sweep
 ``farm``        work-stealing grid farm: worker, serve, sync, status
 ``store``       run-store maintenance: stats, compact, merge
@@ -18,7 +19,11 @@ Commands
 executing locally; ``repro farm serve``/``repro farm worker`` drive it.
 
 ``run`` and ``grid`` accept ``--mtbf`` (plus ``--mttr``, ``--recovery``,
-``--fault-model``) to inject node failures into any simulation.
+``--fault-model``) to inject node failures into any simulation, and the
+fault-domain knobs (``--domain-size``, ``--domain-mtbf``, ``--domain-mttr``,
+``--cascade-prob``, ``--cascade-delay``, ``--elastic-interval``,
+``--elastic-max-extra``) to correlate those failures into rack-level
+outages, cascades, and elastic capacity.
 
 Everything prints plain text (the same renderings the benchmark exhibits
 use) and exits non-zero on bad arguments, so the CLI is scriptable.
@@ -50,14 +55,37 @@ def _config_from_args(args) -> ExperimentConfig:
     config = ExperimentConfig(
         n_jobs=args.jobs, total_procs=args.procs, seed=args.seed
     ).for_set(args.set)
+    fault_values = {}
     if getattr(args, "mtbf", None) is not None:
-        config = config.with_values(
-            fault_enabled=True,
+        fault_values.update(
             fault_model=args.fault_model,
             fault_mtbf=args.mtbf,
             fault_mttr=args.mttr,
-            fault_recovery=args.recovery,
         )
+    if getattr(args, "domain_mtbf", None) is not None:
+        fault_values["fault_domain_mtbf"] = args.domain_mtbf
+        if getattr(args, "domain_size", None) is None:
+            fault_values["fault_domain_size"] = 8
+    if fault_values:
+        # Correlated knobs only make sense once failures exist at all, so
+        # they ride along with whichever process (--mtbf / --domain-mtbf)
+        # enabled fault injection.
+        fault_values["fault_recovery"] = args.recovery
+        for attr, field in (
+            ("domain_size", "fault_domain_size"),
+            ("domain_mttr", "fault_domain_mttr"),
+            ("cascade_prob", "fault_cascade_prob"),
+            ("cascade_delay", "fault_cascade_delay"),
+            ("elastic_interval", "fault_elastic_interval"),
+            ("elastic_max_extra", "fault_elastic_max_extra"),
+        ):
+            value = getattr(args, attr, None)
+            if value is not None:
+                fault_values[field] = value
+        if fault_values.get("fault_elastic_interval"):
+            fault_values["fault_elastic_model"] = "stochastic"
+            fault_values.setdefault("fault_elastic_max_extra", 4)
+        config = config.with_values(fault_enabled=True, **fault_values)
     return config
 
 
@@ -83,6 +111,33 @@ def _add_fault_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--fault-model", choices=("exponential", "weibull"),
                        default="exponential",
                        help="time-to-failure distribution")
+    group = parser.add_argument_group(
+        "fault domains & elasticity",
+        "group nodes into racks that fail together; --domain-mtbf enables "
+        "fault injection on its own (--mtbf optional)",
+    )
+    group.add_argument("--domain-size", type=int, default=None, metavar="NODES",
+                       help="nodes per rack (fault domain); default 8 when "
+                            "--domain-mtbf is set")
+    group.add_argument("--domain-mtbf", type=float, default=None,
+                       metavar="SECONDS",
+                       help="mean time between whole-rack outages")
+    group.add_argument("--domain-mttr", type=float, default=None,
+                       metavar="SECONDS", help="mean rack outage length")
+    group.add_argument("--cascade-prob", type=float, default=None, metavar="P",
+                       help="probability a failure propagates to each peer "
+                            "in its fault domain")
+    group.add_argument("--cascade-delay", type=float, default=None,
+                       metavar="SECONDS",
+                       help="deterministic delay before a cascade hop lands")
+    group.add_argument("--elastic-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="mean time between stochastic capacity events "
+                            "(node add/decommission)")
+    group.add_argument("--elastic-max-extra", type=int, default=None,
+                       metavar="NODES",
+                       help="ceiling on elastically commissioned extra nodes "
+                            "(default 4 with --elastic-interval)")
 
 
 def cmd_figure(args) -> int:
@@ -180,6 +235,16 @@ def cmd_run(args) -> int:
             f"{fs['observed_availability']:.4f} "
             f"(recovery={config.faults.recovery})"
         )
+        if (
+            fs["domain_outages"] or fs["cascade_propagations"]
+            or fs["nodes_commissioned"] or fs["nodes_decommissioned"]
+        ):
+            print(
+                f"domains: {fs['domain_outages']} domain outages, "
+                f"{fs['cascade_propagations']} cascade propagations, "
+                f"+{fs['nodes_commissioned']}/-{fs['nodes_decommissioned']} "
+                "elastic nodes"
+            )
     elapsed = max(elapsed, 1e-12)
     print(
         f"throughput: {len(jobs) / elapsed:,.0f} jobs/s, "
@@ -339,7 +404,12 @@ def cmd_grid(args) -> int:
 
 
 def cmd_faults(args) -> int:
-    from repro.experiments.faultsweep import FAULT_MTBF_LEVELS, run_fault_sweep
+    from repro.experiments.faultsweep import (
+        CASCADE_PROB_LEVELS,
+        FAULT_MTBF_LEVELS,
+        run_correlated_sweep,
+        run_fault_sweep,
+    )
 
     policies = args.policies or (
         COMMODITY_POLICIES if args.model == "commodity" else BID_POLICIES
@@ -352,16 +422,33 @@ def cmd_faults(args) -> int:
         n_jobs=args.jobs, total_procs=args.procs, seed=args.seed
     ).for_set(args.set)
     store = RunStore(args.cache_dir) if args.cache_dir else RunCache()
-    result = run_fault_sweep(
-        policies,
-        args.model,
-        base,
-        mtbfs=args.levels or FAULT_MTBF_LEVELS,
-        mttr=args.mttr,
-        recovery=args.recovery,
-        fault_model=args.fault_model,
-        cache=store,
-    )
+    if args.sweep == "correlated":
+        result = run_correlated_sweep(
+            policies,
+            args.model,
+            base,
+            cascade_probs=(
+                tuple(args.levels) if args.levels else CASCADE_PROB_LEVELS
+            ),
+            domain_size=args.domain_size,
+            domain_mtbf=args.domain_mtbf,
+            domain_mttr=args.domain_mttr,
+            cascade_delay=args.cascade_delay,
+            mttr=args.mttr,
+            recovery=args.recovery,
+            cache=store,
+        )
+    else:
+        result = run_fault_sweep(
+            policies,
+            args.model,
+            base,
+            mtbfs=args.levels or FAULT_MTBF_LEVELS,
+            mttr=args.mttr,
+            recovery=args.recovery,
+            fault_model=args.fault_model,
+            cache=store,
+        )
     print(result.table())
     if args.cache_dir:
         print(f"\nrun store: {store.cache_dir} "
@@ -388,6 +475,8 @@ def cmd_market(args) -> int:
     from repro.experiments.marketsweep import (
         MarketConfig,
         admission_market_scenario,
+        correlated_market_config,
+        correlated_market_scenario,
         mtbf_market_scenario,
         run_market_sweep,
     )
@@ -412,21 +501,33 @@ def cmd_market(args) -> int:
             print("error: --policy applies to single runs only "
                   "(sweeps are synthetic-provider markets)", file=sys.stderr)
             return 2
-        base = MarketConfig(
-            providers=tuple(specs),
-            n_users=args.users,
-            n_jobs=args.jobs,
-            seed=args.seed,
-            share_window=args.share_window,
-            backend=args.backend,
-        )
-        if args.sweep == "mtbf":
-            scenario = (
-                mtbf_market_scenario(tuple(args.levels))
-                if args.levels else mtbf_market_scenario()
+        if args.sweep == "correlated":
+            # The duel needs its own field (risky + grouped peer + steady);
+            # --providers/--capacity shape the other sweeps only.
+            base = correlated_market_config(
+                n_users=args.users,
+                n_jobs=args.jobs,
+                seed=args.seed,
+                share_window=args.share_window,
+                backend=args.backend,
             )
+            scenario = correlated_market_scenario()
         else:
-            scenario = admission_market_scenario()
+            base = MarketConfig(
+                providers=tuple(specs),
+                n_users=args.users,
+                n_jobs=args.jobs,
+                seed=args.seed,
+                share_window=args.share_window,
+                backend=args.backend,
+            )
+            if args.sweep == "mtbf":
+                scenario = (
+                    mtbf_market_scenario(tuple(args.levels))
+                    if args.levels else mtbf_market_scenario()
+                )
+            else:
+                scenario = admission_market_scenario()
         store = RunStore(args.cache_dir) if args.cache_dir else RunStore()
         result = run_market_sweep(
             base, scenario=scenario, store=store, shard=args.shard
@@ -805,16 +906,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "faults",
-        help="MTBF sweep: availability-vs-risk table under node failures",
+        help="availability-vs-risk sweeps under node failures: per-node "
+             "MTBF (default) or correlated fault domains",
     )
     p.add_argument("--model", choices=("commodity", "bid"), default="bid")
     p.add_argument("--policies", nargs="+", default=None,
                    help="policy subset (default: all policies of the model)")
+    p.add_argument("--sweep", choices=("mtbf", "correlated"), default="mtbf",
+                   help="mtbf: sweep the per-node MTBF; correlated: sweep "
+                        "the cascade probability over a rack-structured "
+                        "machine")
     p.add_argument("--levels", nargs="+", type=float, default=None,
-                   metavar="SECONDS", help="MTBF levels to sweep "
-                   "(default: 6h, 12h, 1d, 2d, 4d, 8d)")
+                   metavar="VALUE", help="sweep levels: MTBF seconds for "
+                   "--sweep mtbf (default 6h…8d), cascade probabilities "
+                   "for --sweep correlated (default 0, .1, .25, .5, 1)")
     p.add_argument("--mttr", type=float, default=3600.0, metavar="SECONDS",
                    help="mean time to repair a failed node")
+    p.add_argument("--domain-size", type=int, default=8, metavar="NODES",
+                   help="[--sweep correlated] nodes per rack")
+    p.add_argument("--domain-mtbf", type=float, default=86_400.0,
+                   metavar="SECONDS",
+                   help="[--sweep correlated] mean time between rack outages")
+    p.add_argument("--domain-mttr", type=float, default=3600.0,
+                   metavar="SECONDS",
+                   help="[--sweep correlated] mean rack outage length")
+    p.add_argument("--cascade-delay", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="[--sweep correlated] delay before a cascade hop")
     p.add_argument("--recovery", choices=("resubmit", "checkpoint"),
                    default="resubmit", help="recovery of failure-killed jobs")
     p.add_argument("--fault-model", choices=("exponential", "weibull"),
@@ -849,9 +967,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mean outage length of the risky provider")
     p.add_argument("--share-window", type=float, default=50_000.0,
                    metavar="SECONDS", help="market-share sampling window")
-    p.add_argument("--sweep", choices=("mtbf", "admission"), default=None,
+    p.add_argument("--sweep", choices=("mtbf", "admission", "correlated"),
+                   default=None,
                    help="sweep a risk knob of the risky provider instead of "
-                        "running once")
+                        "running once; 'correlated' compares private vs "
+                        "shared-grid outages at identical availability")
     p.add_argument("--levels", nargs="+", type=_market_level, default=None,
                    metavar="SECONDS|off", help="MTBF levels for --sweep mtbf "
                    "('off' = failure-free)")

@@ -95,6 +95,9 @@ class SpaceSharedCluster:
         self._running: dict[int, RunningJob] = {}
         #: nodes currently failed (fault injection); never free nor running.
         self._down: set[int] = set()
+        #: nodes decommissioned for good (elastic capacity); ids are never
+        #: reused, so every node keeps a stable identity.
+        self._retired: set[int] = set()
         # Homogeneous clusters skip per-node bookkeeping entirely (the fast
         # path the paper's SDSC SP2 uses); fault injection needs to know
         # which job holds which node, so the injector switches tracking on.
@@ -191,8 +194,7 @@ class SpaceSharedCluster:
         """
         if not self._track_nodes:
             raise RuntimeError("fail_node requires node tracking (enable_node_tracking)")
-        if not 0 <= node_id < self.total_procs:
-            raise ValueError(f"no such node: {node_id}")
+        self._check_node_id(node_id)
         if node_id in self._down:
             raise ValueError(f"node {node_id} is already down")
         self._down.add(node_id)
@@ -225,6 +227,8 @@ class SpaceSharedCluster:
 
     def repair_node(self, node_id: int) -> None:
         """Bring a failed node back into the free pool."""
+        if node_id in self._retired:
+            raise ValueError(f"node {node_id} is decommissioned")
         if node_id not in self._down:
             raise ValueError(f"node {node_id} is not down")
         self._down.discard(node_id)
@@ -234,6 +238,54 @@ class SpaceSharedCluster:
 
     def down_nodes(self) -> frozenset[int]:
         return frozenset(self._down)
+
+    def _check_node_id(self, node_id: int) -> None:
+        # Node ids are stable for life, so the valid range is everything
+        # ever created — retirement shrinks capacity, not the id space.
+        if not 0 <= node_id < len(self.nodes):
+            raise ValueError(f"no such node: {node_id}")
+        if node_id in self._retired:
+            raise ValueError(f"node {node_id} is decommissioned")
+
+    # -- elastic capacity ----------------------------------------------------
+    def commission_node(self, rating: Optional[float] = None) -> int:
+        """Add a node to the machine; returns its (fresh, stable) id.
+
+        New nodes run at the reference rating unless ``rating`` is given.
+        Requires node tracking (the fault injector enables it), because a
+        commissioned node must join the per-node free list.
+        """
+        if not self._track_nodes:
+            raise RuntimeError(
+                "commission_node requires node tracking (enable_node_tracking)"
+            )
+        node_id = len(self.nodes)
+        self.nodes.append(
+            Node(node_id, float(rating) if rating is not None else REFERENCE_RATING)
+        )
+        self.total_procs += 1
+        self.free_procs += 1
+        self._free_nodes.append(node_id)
+        self._free_nodes.sort(key=lambda i: (-self.nodes[i].speed_factor, i))
+        if PERF.enabled:
+            PERF.incr("cluster.space.nodes_commissioned")
+        return node_id
+
+    def decommission_node(self, node_id: int) -> list[tuple[Job, float]]:
+        """Retire ``node_id`` for good; returns the jobs it killed.
+
+        Semantically a failure that never repairs: any job gang-scheduled
+        on the node is terminated exactly as :meth:`fail_node` terminates
+        it (so the caller routes the kills through the same recovery
+        path), and the machine's capacity shrinks by one.
+        """
+        killed = self.fail_node(node_id)
+        self._down.discard(node_id)
+        self._retired.add(node_id)
+        self.total_procs -= 1
+        if PERF.enabled:
+            PERF.incr("cluster.space.nodes_decommissioned")
+        return killed
 
     # ------------------------------------------------------------------
     @property

@@ -98,6 +98,8 @@ class TimeSharedCluster:
         self._last_update = sim.now
         #: nodes currently failed (fault injection); excluded from admission.
         self._down: set[int] = set()
+        #: nodes decommissioned for good (elastic capacity); ids stay stable.
+        self._retired: set[int] = set()
 
     # -- admission helpers -------------------------------------------------
     def node_share_load(self, node: int) -> float:
@@ -134,8 +136,8 @@ class TimeSharedCluster:
             else frozenset()
         )
         candidates = []
-        for node in range(self.total_procs):
-            if node in self._down:
+        for node in range(len(self.committed)):
+            if node in self._down or node in self._retired:
                 continue
             node_set = self.node_jobs[node]
             if exclude_risky and not risky.isdisjoint(node_set):
@@ -164,10 +166,11 @@ class TimeSharedCluster:
             raise ValueError(f"share must be in (0, 1], got {share}")
         if job.job_id in self._states:
             raise ValueError(f"job {job.job_id} is already running")
-        if self._down and not self._down.isdisjoint(nodes):
+        unavailable = (self._down | self._retired) if (self._down or self._retired) else ()
+        if unavailable and not set(nodes).isdisjoint(unavailable):
             raise ValueError(
-                f"cannot admit job {job.job_id} on failed node(s) "
-                f"{sorted(self._down.intersection(nodes))}"
+                f"cannot admit job {job.job_id} on failed/retired node(s) "
+                f"{sorted(set(nodes) & set(unavailable))}"
             )
         self._sync_progress()
         state = TSJobState(
@@ -362,8 +365,7 @@ class TimeSharedCluster:
         victims held on *other* nodes are released and the surviving jobs'
         rates are recomputed.
         """
-        if not 0 <= node_id < self.total_procs:
-            raise ValueError(f"no such node: {node_id}")
+        self._check_node_id(node_id)
         if node_id in self._down:
             raise ValueError(f"node {node_id} is already down")
         self._sync_progress()
@@ -391,12 +393,48 @@ class TimeSharedCluster:
 
     def repair_node(self, node_id: int) -> None:
         """Bring a failed node back; it becomes admissible again."""
+        if node_id in self._retired:
+            raise ValueError(f"node {node_id} is decommissioned")
         if node_id not in self._down:
             raise ValueError(f"node {node_id} is not down")
         self._down.discard(node_id)
 
     def down_nodes(self) -> frozenset[int]:
         return frozenset(self._down)
+
+    def _check_node_id(self, node_id: int) -> None:
+        # Node ids are stable for life: the valid range is everything ever
+        # created — retirement shrinks capacity, not the id space.
+        if not 0 <= node_id < len(self.committed):
+            raise ValueError(f"no such node: {node_id}")
+        if node_id in self._retired:
+            raise ValueError(f"node {node_id} is decommissioned")
+
+    # -- elastic capacity -----------------------------------------------------
+    def commission_node(self) -> int:
+        """Add a node to the machine; returns its (fresh, stable) id."""
+        node_id = len(self.committed)
+        self.committed.append(0.0)
+        self.node_jobs.append(set())
+        self.total_procs += 1
+        if PERF.enabled:
+            PERF.incr("cluster.time.nodes_commissioned")
+        return node_id
+
+    def decommission_node(self, node_id: int) -> list[tuple[Job, float]]:
+        """Retire ``node_id`` for good; returns the jobs it killed.
+
+        A failure that never repairs: jobs with a share slot on the node
+        are terminated exactly as :meth:`fail_node` terminates them, and
+        capacity shrinks by one.
+        """
+        killed = self.fail_node(node_id)
+        self._down.discard(node_id)
+        self._retired.add(node_id)
+        self.total_procs -= 1
+        if PERF.enabled:
+            PERF.incr("cluster.time.nodes_decommissioned")
+        return killed
 
     # -- introspection -------------------------------------------------------
     def active_jobs(self) -> list[TSJobState]:

@@ -17,6 +17,13 @@ the parent's environment):
     resubmitted run of the same digest proceeds normally.
 ``REPRO_CHAOS_KILL``
     Maximum number of distinct work items to crash (an integer budget).
+``REPRO_CHAOS_BATCH``
+    Maximum number of *multi-run batches* to crash (an integer budget,
+    independent of ``REPRO_CHAOS_KILL``).  :func:`maybe_crash_batch`
+    fires while the worker holds a whole batch of runs — the correlated
+    analogue of a single-item crash, modelling a fault domain taking out
+    every run a worker carried at once.  The supervisor must then split
+    the batch into singletons without charging the innocent runs.
 
 Unset (the default everywhere outside the chaos tests and the CI
 ``chaos-smoke`` job), :func:`maybe_crash` is a single dict lookup.
@@ -29,6 +36,7 @@ import signal
 
 ENV_DIR = "REPRO_CHAOS_DIR"
 ENV_KILL = "REPRO_CHAOS_KILL"
+ENV_BATCH = "REPRO_CHAOS_BATCH"
 
 
 def maybe_crash(digest: str) -> None:
@@ -50,6 +58,37 @@ def maybe_crash(digest: str) -> None:
     try:
         fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
     except FileExistsError:  # lost the race: another worker crashed it
+        return
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def maybe_crash_batch(digests: list[str]) -> None:
+    """SIGKILL this process while it holds a whole multi-run batch.
+
+    Armed via ``REPRO_CHAOS_BATCH`` (plus the shared ``REPRO_CHAOS_DIR``);
+    one ``<first-digest>.batchkilled`` marker makes each batch crash at
+    most once.  Singleton batches never crash here — after the supervisor
+    splits a killed batch, the singleton reruns must proceed — so a
+    budget of 1 kills exactly one correlated batch per grid.
+    """
+    chaos_dir = os.environ.get(ENV_DIR)
+    if not chaos_dir or len(digests) < 2:
+        return
+    try:
+        budget = int(os.environ.get(ENV_BATCH, "0"))
+    except ValueError:
+        return
+    if budget <= 0 or not os.path.isdir(chaos_dir):
+        return
+    marker = os.path.join(chaos_dir, f"{digests[0]}.batchkilled")
+    if os.path.exists(marker):
+        return  # this batch already took its crash; run normally
+    if len([n for n in os.listdir(chaos_dir) if n.endswith(".batchkilled")]) >= budget:
+        return
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:  # lost the race
         return
     os.close(fd)
     os.kill(os.getpid(), signal.SIGKILL)

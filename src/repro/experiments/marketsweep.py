@@ -53,7 +53,9 @@ MARKET_MTBF_LEVELS: tuple[Optional[float], ...] = (
 )
 
 #: Spec fields a :class:`MarketScenario` may sweep on the risky provider.
-SWEEPABLE_KNOBS = ("mtbf", "admission", "capacity", "queue_limit", "mttr")
+SWEEPABLE_KNOBS = (
+    "mtbf", "admission", "capacity", "queue_limit", "mttr", "outage_group",
+)
 
 
 @dataclass(frozen=True)
@@ -226,6 +228,41 @@ def mtbf_market_scenario(
 
 def admission_market_scenario() -> MarketScenario:
     return MarketScenario("admission", "admission", ("greedy", "deadline"))
+
+
+#: Outage law shared by the correlated-risk duel's failing providers.
+CORRELATED_MARKET_MTBF = 14_400.0
+CORRELATED_MARKET_MTTR = 3_600.0
+
+
+def correlated_market_config(**overrides) -> MarketConfig:
+    """The independent-vs-correlated duel's field.
+
+    The risky provider and a ``peer`` fail under the identical outage law;
+    the peer is pinned to outage group ``"grid"``, and the scenario moves
+    the *risky* provider in and out of that group.  A failure-free
+    ``steady`` provider absorbs the displaced users, so the sweep reads
+    off what correlation alone — same marginal availability everywhere —
+    costs in market share.
+    """
+    base = MarketConfig(
+        providers=(
+            SyntheticSpec("risky", capacity=96.0, admission="greedy",
+                          mtbf=CORRELATED_MARKET_MTBF,
+                          mttr=CORRELATED_MARKET_MTTR),
+            SyntheticSpec("peer", capacity=96.0, admission="greedy",
+                          mtbf=CORRELATED_MARKET_MTBF,
+                          mttr=CORRELATED_MARKET_MTTR,
+                          outage_group="grid"),
+            SyntheticSpec("steady", capacity=96.0, admission="deadline"),
+        ),
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+def correlated_market_scenario() -> MarketScenario:
+    """Sweep the risky provider between private and shared-grid outages."""
+    return MarketScenario("correlated", "outage_group", (None, "grid"))
 
 
 def market_plan(

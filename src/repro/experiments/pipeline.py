@@ -297,7 +297,14 @@ def _worker_batch(
     batch's results — the supervisor splits the batch into singletons to
     isolate the culprit, so an item is never charged an attempt for a
     batchmate's crash.
+
+    The batch-level chaos hook (:func:`chaos.maybe_crash_batch`) fires
+    before any item runs, so an armed "correlated outage" kills the
+    worker while it holds the *whole* batch — the exact failure shape a
+    fault domain produces — and the split-and-rerun path is exercised.
     """
+    if len(items) > 1:
+        chaos.maybe_crash_batch([RunKey(*item).digest for item in items])
     return [_worker(item, run_timeout, max_sim_events, max_sim_time) for item in items]
 
 

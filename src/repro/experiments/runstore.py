@@ -79,7 +79,11 @@ from repro.perf.registry import PERF
 #: History: 2 — ``ExperimentConfig`` grew the nested ``faults`` block
 #: (fault injection); grids cached under schema 1 predate dependability
 #: semantics and must re-run.
-SCHEMA_VERSION = 2
+#: 3 — ``FaultConfig`` grew the fault-domain subsystem (topology,
+#: domain/site outage processes, cascades, elastic capacity); the extra
+#: fields change every config's serialised form, so schema-2 entries miss
+#: cleanly and re-run.
+SCHEMA_VERSION = 3
 
 #: Format marker / document version of one on-disk run document.
 RUN_FORMAT = "repro-run"

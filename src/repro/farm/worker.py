@@ -80,6 +80,11 @@ class WorkerAgent:
         self.echo = echo
         self.store = RunStore(farm.worker_store_dir(self.worker_id))
         self._plans: dict[str, FarmPlan] = {}
+        #: the most recent unit's heartbeat thread, re-joined on worker
+        #: exit — a renew that outlives its unit's 1 s join budget must
+        #: not still be touching the lease file while the caller tears
+        #: the farm directory down.
+        self._last_beat: Optional[threading.Thread] = None
 
     # -- claiming ------------------------------------------------------------
     def _plan(self, job_id: str) -> FarmPlan:
@@ -164,6 +169,7 @@ class WorkerAgent:
                 lease = renewed
 
         beat = threading.Thread(target=heartbeat, daemon=True)
+        self._last_beat = beat
         beat.start()
         try:
             execution = execute_plan(
@@ -198,6 +204,20 @@ class WorkerAgent:
         leases_mod.release(claimed.lease_path, claimed.lease)
         return ok
 
+    def _join_heartbeat(self, timeout: float = 5.0) -> None:
+        """Wait out the last unit's heartbeat thread (bounded).
+
+        ``run_unit`` already joins with a 1 s budget; a renew slowed past
+        that (loaded CI filesystem) leaves a daemon thread that could
+        still be rewriting its lease file while the caller deletes the
+        farm spool.  Worker exit is the last safe point to wait, so the
+        loop re-joins here with a longer budget.
+        """
+        beat = self._last_beat
+        if beat is not None and beat.is_alive():
+            beat.join(timeout=timeout)
+        self._last_beat = None
+
     # -- the loop ------------------------------------------------------------
     def _all_jobs_done(self) -> bool:
         job_ids = self.farm.job_ids()
@@ -231,22 +251,25 @@ class WorkerAgent:
         """
         executed = 0
         idle_since: Optional[float] = None
-        while True:
-            if max_units is not None and executed >= max_units:
-                return executed
-            claimed = self.claim_next()
-            if claimed is not None:
-                idle_since = None
-                self.run_unit(claimed)
-                executed += 1
-                continue
-            if drain:
-                return executed
-            if exit_when_done and self._all_jobs_done():
-                return executed
-            now = self.clock()
-            if idle_since is None:
-                idle_since = now
-            if max_idle_s is not None and now - idle_since > max_idle_s:
-                return executed
-            self.sleep(self.poll_interval)
+        try:
+            while True:
+                if max_units is not None and executed >= max_units:
+                    return executed
+                claimed = self.claim_next()
+                if claimed is not None:
+                    idle_since = None
+                    self.run_unit(claimed)
+                    executed += 1
+                    continue
+                if drain:
+                    return executed
+                if exit_when_done and self._all_jobs_done():
+                    return executed
+                now = self.clock()
+                if idle_since is None:
+                    idle_since = now
+                if max_idle_s is not None and now - idle_since > max_idle_s:
+                    return executed
+                self.sleep(self.poll_interval)
+        finally:
+            self._join_heartbeat()

@@ -19,10 +19,19 @@ reliability layer rather than a per-experiment hack:
   node-down/node-up events on the :class:`~repro.sim.engine.Simulator`,
   marks nodes unavailable on the cluster, and hands killed jobs to the
   policy's recovery path (resubmit or checkpoint-restore).
+- :mod:`repro.faults.topology` — :class:`FaultTopology`, the serialisable
+  node → rack → site grouping behind correlated outages: domain-level
+  failure processes take whole groups down atomically, cascades propagate
+  failures along topology edges, and an elastic-capacity process
+  commissions/decommissions nodes mid-run.
 
-Every stochastic draw comes from dedicated ``faults.node<i>`` substreams of
-:class:`~repro.sim.rng.RngStreams`, so enabling fault injection never
-perturbs the workload synthesis and runs stay bit-for-bit reproducible.
+Every stochastic draw comes from a dedicated substream of
+:class:`~repro.sim.rng.RngStreams` — ``faults.node<i>`` per node,
+``faults.domain.<name>`` per fault domain, ``faults.cascade`` and
+``faults.elastic`` for the correlated machinery — so enabling fault
+injection (or any single fault feature) never perturbs the workload
+synthesis or the other features' draws, and runs stay bit-for-bit
+reproducible.
 """
 
 from repro.faults.config import FaultConfig
@@ -34,11 +43,13 @@ from repro.faults.models import (
     WeibullFailures,
     make_failure_process,
 )
+from repro.faults.topology import FaultTopology
 
 __all__ = [
     "FaultConfig",
     "FaultInjector",
     "FaultKill",
+    "FaultTopology",
     "FailureProcess",
     "ExponentialFailures",
     "WeibullFailures",

@@ -16,10 +16,31 @@ The chain re-arms itself only while the workload has unresolved jobs, so a
 finished simulation drains instead of failing forever; a scripted model
 replays its explicit schedule verbatim.
 
+On top of the independent per-node chains, the injector drives the
+*correlated* failure structure a config can describe (see
+:mod:`repro.faults.topology` and :class:`~repro.faults.config.FaultConfig`):
+
+- **domain outages** — each rack/site with a stochastic outage process
+  (or a scripted ``domain_schedule`` entry) goes down *atomically*: every
+  healthy member node fails at the same instant and is repaired after the
+  outage's downtime;
+- **cascades** — every failure propagates to each topology peer with
+  probability ``cascade_prob`` after a deterministic ``cascade_delay``
+  (node failures spread to rack-mates, rack outages to sibling racks),
+  bounded by ``cascade_depth`` hops;
+- **elastic capacity** — nodes are commissioned/decommissioned mid-run;
+  a commission grows the cluster and (under a stochastic node model) arms
+  a failure chain for the new node, a decommission kills the node's jobs
+  through the normal recovery path and retires the node for good.
+
 Determinism: node *i* draws from the dedicated ``faults.node<i>`` substream
-of :class:`~repro.sim.rng.RngStreams` seeded with the experiment seed, so
-the failure history is a pure function of ``(seed, FaultConfig)`` — which
-is exactly what makes faulty runs content-addressable in the run store.
+of :class:`~repro.sim.rng.RngStreams` seeded with the experiment seed;
+domain ``d`` draws from ``faults.domain.<d>``, cascades from
+``faults.cascade``, and elastic events from ``faults.elastic``.  The
+substreams are name-addressed, so enabling any correlated feature never
+perturbs the draws of another — the failure history stays a pure function
+of ``(seed, FaultConfig)``, which is exactly what makes faulty runs
+content-addressable in the run store.
 """
 
 from __future__ import annotations
@@ -27,7 +48,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.faults.config import FaultConfig
-from repro.faults.models import ScriptedFailures, make_failure_process
+from repro.faults.models import ExponentialFailures, ScriptedFailures, make_failure_process
+from repro.faults.topology import FaultTopology
 from repro.perf.registry import PERF
 from repro.sim.events import Priority
 from repro.sim.rng import RngStreams
@@ -57,6 +79,13 @@ class FaultStats:
     jobs_killed: int = 0
     downtime_s: float = 0.0
     per_node_failures: dict[int, int] = field(default_factory=dict)
+    #: whole-group (rack/site) outages executed.
+    domain_outages: int = 0
+    #: peer failures actually triggered by cascade edges.
+    cascade_propagations: int = 0
+    #: elastic-capacity events.
+    nodes_commissioned: int = 0
+    nodes_decommissioned: int = 0
 
 
 class FaultInjector:
@@ -86,7 +115,26 @@ class FaultInjector:
         self.stats = FaultStats()
         self._streams = RngStreams(seed=seed)
         self._process = make_failure_process(config)
+        self.topology = FaultTopology.from_config(config, self.cluster.total_procs)
+        self._domain_process = (
+            ExponentialFailures(config.domain_mtbf, config.domain_mttr)
+            if config.domain_mtbf > 0
+            else None
+        )
+        self._site_process = (
+            ExponentialFailures(config.site_mtbf, config.site_mttr)
+            if config.site_mtbf > 0
+            else None
+        )
         self._down: set[int] = set()
+        #: nodes decommissioned for good (elastic capacity).
+        self._gone: set[int] = set()
+        #: nodes with a pending *individual* failure event — a repair must
+        #: not re-arm these, or a node downed by a domain outage while its
+        #: own failure was pending would end up with two chains.
+        self._armed: set[int] = set()
+        #: commissioned node ids still in service (LIFO decommission order).
+        self._extra_nodes: list[int] = []
         self._stopped = False
 
     # -- wiring ----------------------------------------------------------------
@@ -106,6 +154,34 @@ class FaultInjector:
         else:
             for node_id in range(self.cluster.total_procs):
                 self._arm(node_id)
+        self._start_domains()
+        self._start_elastic()
+
+    def _start_domains(self) -> None:
+        config = self.config
+        for fail_time, name, downtime in config.domain_schedule:
+            self.topology.domain_nodes(name)  # validate against this machine
+            self.sim.schedule_at(
+                fail_time, self._scripted_domain_fail, name, downtime,
+                priority=Priority.INTERNAL,
+            )
+        if self._domain_process is not None:
+            for rack in range(self.topology.n_racks):
+                self._arm_domain(f"rack{rack}")
+        if self._site_process is not None:
+            for site in range(self.topology.n_sites):
+                self._arm_domain(f"site{site}")
+
+    def _start_elastic(self) -> None:
+        config = self.config
+        if config.elastic_model == "scripted":
+            for event_time, delta in config.elastic_schedule:
+                self.sim.schedule_at(
+                    event_time, self._scripted_elastic, delta,
+                    priority=Priority.INTERNAL,
+                )
+        elif config.elastic_model == "stochastic":
+            self._arm_elastic()
 
     def _check_node(self, node_id: int) -> None:
         if not 0 <= node_id < self.cluster.total_procs:
@@ -117,10 +193,28 @@ class FaultInjector:
     def _rng(self, node_id: int):
         return self._streams.get(f"faults.node{node_id}")
 
+    def _domain_rng(self, name: str):
+        return self._streams.get(f"faults.domain.{name}")
+
     def _arm(self, node_id: int) -> None:
         """Schedule the next stochastic failure of a healthy node."""
+        self._armed.add(node_id)
         delay = self._process.time_to_failure(self._rng(node_id))
         self.sim.schedule(delay, self._fail, node_id, priority=Priority.INTERNAL)
+
+    def _domain_process_for(self, name: str) -> ExponentialFailures:
+        return self._site_process if name.startswith("site") else self._domain_process
+
+    def _arm_domain(self, name: str) -> None:
+        """Schedule the next stochastic outage of a whole domain."""
+        process = self._domain_process_for(name)
+        delay = process.time_to_failure(self._domain_rng(name))
+        self.sim.schedule(delay, self._domain_fail, name, priority=Priority.INTERNAL)
+
+    def _arm_elastic(self) -> None:
+        rng = self._streams.get("faults.elastic")
+        delay = float(rng.exponential(self.config.elastic_interval))
+        self.sim.schedule(delay, self._elastic_event, priority=Priority.INTERNAL)
 
     # -- event handlers --------------------------------------------------------
     def _workload_done(self) -> bool:
@@ -128,21 +222,137 @@ class FaultInjector:
         return self.service.unresolved_count() == 0
 
     def _fail(self, node_id: int) -> None:
+        self._armed.discard(node_id)
         if self._stopped or self._workload_done():
             # Nothing left to perturb: let the chain die so the event list
             # drains.  Pending repairs still run (they are finite).
             self._stopped = True
             return
+        if node_id in self._down or node_id in self._gone:
+            # A domain outage or cascade beat this chain to the node (or it
+            # was decommissioned).  The node's repair re-arms the chain.
+            return
         self._execute_failure(node_id, self._process.time_to_repair(self._rng(node_id)))
 
     def _scripted_fail(self, node_id: int, downtime: float) -> None:
-        if node_id in self._down:
+        if node_id in self._down or node_id in self._gone:
+            if self.config.has_correlated_faults or self.config.has_elastic:
+                # Correlated features make overlap legitimate: a rack outage
+                # can hold the node down when its scripted failure fires.
+                return
             raise ValueError(
                 f"scripted schedule fails node {node_id} while it is already down"
             )
         self._execute_failure(node_id, downtime)
 
-    def _execute_failure(self, node_id: int, downtime: float) -> None:
+    def _domain_fail(self, name: str) -> None:
+        if self._stopped or self._workload_done():
+            self._stopped = True
+            return
+        process = self._domain_process_for(name)
+        downtime = process.time_to_repair(self._domain_rng(name))
+        self._execute_domain_failure(name, downtime)
+        self.sim.schedule(downtime, self._domain_up, name, priority=Priority.INTERNAL)
+
+    def _domain_up(self, name: str) -> None:
+        """The domain's outage ended (members repaired themselves): re-arm."""
+        if not self._stopped and not self._workload_done():
+            self._arm_domain(name)
+        else:
+            self._stopped = True
+
+    def _scripted_domain_fail(self, name: str, downtime: float) -> None:
+        self._execute_domain_failure(name, downtime)
+
+    def _execute_domain_failure(
+        self, name: str, downtime: float, hops: int = 0
+    ) -> None:
+        """Take every healthy member of ``name`` down atomically."""
+        members = [
+            node_id
+            for node_id in self.topology.domain_nodes(name)
+            if node_id not in self._down and node_id not in self._gone
+        ]
+        self.stats.domain_outages += 1
+        if PERF.enabled:
+            PERF.incr("faults.domain_outages")
+            PERF.incr("faults.domain_nodes_down", len(members))
+        for node_id in members:
+            self._execute_failure(node_id, downtime, cascade=False)
+        if name.startswith("rack"):
+            self._cascade_from_rack(int(name[len("rack"):]), downtime, hops)
+
+    def _elastic_event(self) -> None:
+        if self._stopped or self._workload_done():
+            self._stopped = True
+            return
+        rng = self._streams.get("faults.elastic")
+        extras = len(self._extra_nodes)
+        if extras == 0:
+            grow = True
+        elif extras >= self.config.elastic_max_extra:
+            grow = False
+        else:
+            grow = bool(rng.random() < 0.5)
+        if grow:
+            self._commission()
+        else:
+            self._decommission()
+        self._arm_elastic()
+
+    def _scripted_elastic(self, delta: int) -> None:
+        if delta > 0:
+            for _ in range(delta):
+                self._commission()
+        else:
+            for _ in range(-delta):
+                if not self._decommission():
+                    raise ValueError(
+                        "elastic schedule decommissions below the base machine "
+                        "size (only previously commissioned nodes can go)"
+                    )
+
+    def _commission(self) -> int:
+        node_id = self.cluster.commission_node()
+        self._extra_nodes.append(node_id)
+        self.stats.nodes_commissioned += 1
+        if PERF.enabled:
+            PERF.incr("faults.elastic_commissions")
+        # Capacity grew — same dispatch opportunity as a repaired node.
+        self.policy.on_node_repair(node_id)
+        if not isinstance(self._process, ScriptedFailures):
+            self._arm(node_id)
+        return node_id
+
+    def _decommission(self) -> bool:
+        """Retire the most recently commissioned healthy node, if any."""
+        for index in range(len(self._extra_nodes) - 1, -1, -1):
+            node_id = self._extra_nodes[index]
+            if node_id not in self._down:
+                del self._extra_nodes[index]
+                break
+        else:
+            return False  # nothing decommissionable (none, or all down)
+        killed = self.cluster.decommission_node(node_id)
+        self._gone.add(node_id)
+        kills = [
+            FaultKill(job=job, progress=progress, node_id=node_id)
+            for job, progress in killed
+        ]
+        self.stats.nodes_decommissioned += 1
+        self.stats.jobs_killed += len(kills)
+        if PERF.enabled:
+            PERF.incr("faults.elastic_decommissions")
+            PERF.incr("faults.jobs_killed", len(kills))
+        if kills:
+            # Same recovery path as a failure: SLAs are interrupted and the
+            # jobs re-run (or terminally fail) per the recovery discipline.
+            self.policy.on_node_failure(node_id, kills)
+        return True
+
+    def _execute_failure(
+        self, node_id: int, downtime: float, hops: int = 0, cascade: bool = True
+    ) -> None:
         self._down.add(node_id)
         killed = self.cluster.fail_node(node_id)
         kills = [
@@ -161,6 +371,57 @@ class FaultInjector:
             PERF.observe("faults.downtime_s", downtime)
         self.policy.on_node_failure(node_id, kills)
         self.sim.schedule(downtime, self._repair, node_id, priority=Priority.INTERNAL)
+        if cascade:
+            self._cascade_from_node(node_id, downtime, hops)
+
+    # -- cascades --------------------------------------------------------------
+    def _cascade_from_node(self, node_id: int, downtime: float, hops: int) -> None:
+        """Draw each rack-mate edge; hits fail after the cascade delay."""
+        config = self.config
+        if config.cascade_prob <= 0 or hops >= config.cascade_depth:
+            return
+        rng = self._streams.get("faults.cascade")
+        for peer in self.topology.node_peers(node_id):
+            if float(rng.random()) < config.cascade_prob:
+                self.sim.schedule(
+                    config.cascade_delay, self._cascade_fail,
+                    peer, downtime, hops + 1,
+                    priority=Priority.INTERNAL,
+                )
+
+    def _cascade_from_rack(self, rack: int, downtime: float, hops: int) -> None:
+        """Draw each sibling-rack edge; hits go down whole after the delay."""
+        config = self.config
+        if config.cascade_prob <= 0 or hops >= config.cascade_depth:
+            return
+        rng = self._streams.get("faults.cascade")
+        for peer_name in self.topology.rack_peers(rack):
+            if float(rng.random()) < config.cascade_prob:
+                self.sim.schedule(
+                    config.cascade_delay, self._cascade_domain_fail,
+                    peer_name, downtime, hops + 1,
+                    priority=Priority.INTERNAL,
+                )
+
+    def _cascade_fail(self, node_id: int, downtime: float, hops: int) -> None:
+        if self._stopped or self._workload_done():
+            self._stopped = True
+            return
+        if node_id in self._down or node_id in self._gone:
+            return  # already down when the propagation arrived
+        self.stats.cascade_propagations += 1
+        if PERF.enabled:
+            PERF.incr("faults.cascade_propagations")
+        self._execute_failure(node_id, downtime, hops=hops)
+
+    def _cascade_domain_fail(self, name: str, downtime: float, hops: int) -> None:
+        if self._stopped or self._workload_done():
+            self._stopped = True
+            return
+        self.stats.cascade_propagations += 1
+        if PERF.enabled:
+            PERF.incr("faults.cascade_propagations")
+        self._execute_domain_failure(name, downtime, hops=hops)
 
     def _repair(self, node_id: int) -> None:
         self._down.discard(node_id)
@@ -169,7 +430,12 @@ class FaultInjector:
         if PERF.enabled:
             PERF.incr("faults.repaired")
         self.policy.on_node_repair(node_id)
-        if not isinstance(self._process, ScriptedFailures) and not self._stopped:
+        if (
+            not isinstance(self._process, ScriptedFailures)
+            and not self._stopped
+            and node_id not in self._armed
+            and node_id not in self._gone
+        ):
             if self._workload_done():
                 self._stopped = True
             else:
@@ -179,8 +445,16 @@ class FaultInjector:
     def down_nodes(self) -> frozenset[int]:
         return frozenset(self._down)
 
+    def commissioned_nodes(self) -> tuple[int, ...]:
+        """Elastic nodes currently in service (commission order)."""
+        return tuple(self._extra_nodes)
+
     def observed_availability(self, horizon: float) -> float:
-        """Fraction of node-time the cluster was up over ``horizon`` seconds."""
+        """Fraction of node-time the cluster was up over ``horizon`` seconds.
+
+        Uses the cluster's *current* size as the capacity baseline, so the
+        figure is approximate under elastic capacity changes.
+        """
         if horizon <= 0:
             return 1.0
         capacity = self.cluster.total_procs * horizon

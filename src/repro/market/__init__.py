@@ -14,7 +14,8 @@ simulates that dynamic directly, at population scale:
   ``docs/market.md`` for the parity contract);
 - :mod:`repro.market.provider` — O(1) fluid-queue
   :class:`SyntheticProvider` competitors with sweepable risk knobs
-  (capacity, admission policy, MTBF/MTTR);
+  (capacity, admission policy, MTBF/MTTR, correlated ``outage_group``
+  membership via a shared :class:`OutageTimeline`);
 - :mod:`repro.market.marketplace` — the market itself: streaming job
   arrival, window-batched feedback, mixed service/synthetic providers on
   one simulator, market-share and revenue time series;
@@ -29,7 +30,7 @@ risk-vs-survival at population scale.
 
 from repro.market.cohort import AgentPopulation, UserCohort, make_population
 from repro.market.marketplace import Marketplace, MarketShareSample, ProviderSpec
-from repro.market.provider import SyntheticProvider, SyntheticSpec
+from repro.market.provider import OutageTimeline, SyntheticProvider, SyntheticSpec
 from repro.market.stream import market_job_stream
 from repro.market.user import SatisfactionParams, UserAgent, score_outcome, softmax_pick
 
@@ -42,6 +43,7 @@ __all__ = [
     "UserCohort",
     "AgentPopulation",
     "make_population",
+    "OutageTimeline",
     "SyntheticProvider",
     "SyntheticSpec",
     "market_job_stream",

@@ -45,7 +45,7 @@ import numpy as np
 
 from repro.economy.models import make_model
 from repro.market.cohort import make_population
-from repro.market.provider import SyntheticProvider, SyntheticSpec
+from repro.market.provider import OutageTimeline, SyntheticProvider, SyntheticSpec
 from repro.market.user import (
     KIND_FULFILLED,
     KIND_REJECTED,
@@ -168,11 +168,19 @@ class _SyntheticAdapter:
         self.market = market
         self.index = index
         self.stats = market.stats[spec.name]
-        rng = (
-            market.streams.get(f"market-fault-{spec.name}")
-            if spec.mtbf is not None else None
-        )
-        self.synthetic = SyntheticProvider(spec, rng=rng)
+        if spec.outage_group is not None:
+            # Correlated outages: every member of the group shares one
+            # timeline keyed by the group name, not the provider name, so
+            # membership (not identity) decides the failure instants.
+            self.synthetic = SyntheticProvider(
+                spec, timeline=market._outage_timeline(spec)
+            )
+        else:
+            rng = (
+                market.streams.get(f"market-fault-{spec.name}")
+                if spec.mtbf is not None else None
+            )
+            self.synthetic = SyntheticProvider(spec, rng=rng)
         self.policy_label = f"synthetic/{spec.admission}"
         self._revenue = 0.0
 
@@ -248,6 +256,8 @@ class Marketplace:
         self.names: tuple[str, ...] = tuple(names)
         self.n_users = int(n_users)
         self.stats: dict[str, ProviderStats] = {n: ProviderStats() for n in names}
+        #: shared outage timelines by group name (see ``SyntheticSpec``).
+        self._outage_timelines: dict[str, OutageTimeline] = {}
         self._adapters = []
         for index, spec in enumerate(specs):
             if isinstance(spec, SyntheticSpec):
@@ -286,6 +296,23 @@ class Marketplace:
         self._n_flushed = 0
         self._n_windows = 0
         self._perf_marks = (0, 0, 0, 0, 0)
+
+    def _outage_timeline(self, spec: SyntheticSpec) -> OutageTimeline:
+        """The shared timeline of ``spec.outage_group`` (created once).
+
+        The first member's mtbf/mttr fix the group's outage law; a later
+        member that disagrees is a configuration error (the provider
+        constructor raises), since a shared outage has one duration.
+        """
+        group = spec.outage_group
+        timeline = self._outage_timelines.get(group)
+        if timeline is None:
+            timeline = OutageTimeline(
+                spec.mtbf, spec.mttr,
+                self.streams.get(f"market-outages-{group}"),
+            )
+            self._outage_timelines[group] = timeline
+        return timeline
 
     # -- randomness -----------------------------------------------------------
     def _next_user(self) -> int:

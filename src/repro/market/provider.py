@@ -29,6 +29,13 @@ Risk knobs (all swept by :mod:`repro.experiments.marketsweep`):
     each outage freezes the queue for ``mttr`` seconds, so low MTBF turns
     into waits, violations, and (under ``"deadline"`` admission)
     rejections — dependability as a market-share knob.
+``outage_group``
+    providers naming the same group draw their outages from one shared
+    :class:`OutageTimeline` instead of private substreams: they go down
+    *together* (a shared grid, datacentre, or network).  The marginal
+    outage law per provider is unchanged — only the correlation moves —
+    so sweeping a provider's ``outage_group`` between ``None`` and a
+    shared name isolates what correlated risk alone does to market share.
 
 Revenue uses the same Eq. 9 bid-shaped utility as the real providers
 (:func:`repro.economy.penalty.linear_utility`): the full budget on time,
@@ -68,6 +75,8 @@ class SyntheticSpec:
     mtbf: Optional[float] = None
     #: queue freeze per outage (seconds).
     mttr: float = 3600.0
+    #: correlated-outage group name (None = outages are private).
+    outage_group: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -85,6 +94,13 @@ class SyntheticSpec:
             raise ValueError("mtbf must be positive (or None to disable)")
         if self.mttr <= 0:
             raise ValueError("mttr must be positive")
+        if self.outage_group is not None:
+            if not self.outage_group:
+                raise ValueError("outage_group cannot be an empty string")
+            if self.mtbf is None:
+                raise ValueError(
+                    "outage_group requires an outage process: set mtbf too"
+                )
 
     def to_dict(self) -> dict:
         doc = asdict(self)
@@ -99,6 +115,41 @@ class SyntheticSpec:
         if kwargs.get("queue_limit") is None:
             kwargs["queue_limit"] = math.inf
         return SyntheticSpec(**kwargs)
+
+
+class OutageTimeline:
+    """One outage group's shared failure instants, lazily materialised.
+
+    Every member of an ``outage_group`` reads the *same* sequence of
+    outage start times through a private cursor, so members fail
+    simultaneously regardless of how far each has folded its own queue
+    forward.  The sequence follows exactly the law a solo provider draws
+    from its private substream — ``exp(mtbf)`` to the first outage, then
+    ``mttr + exp(mtbf)`` between starts — so grouping changes only the
+    correlation structure, never a provider's marginal availability.
+    """
+
+    def __init__(self, mtbf: float, mttr: float, rng: np.random.Generator) -> None:
+        if mtbf <= 0:
+            raise ValueError("mtbf must be positive")
+        if mttr <= 0:
+            raise ValueError("mttr must be positive")
+        self.mtbf = float(mtbf)
+        self.mttr = float(mttr)
+        self._rng = rng
+        self._starts: list[float] = []
+
+    def start(self, index: int) -> float:
+        """The ``index``-th outage start time (draws as far as needed)."""
+        starts = self._starts
+        while len(starts) <= index:
+            if not starts:
+                starts.append(float(self._rng.exponential(self.mtbf)))
+            else:
+                starts.append(
+                    starts[-1] + self.mttr + float(self._rng.exponential(self.mtbf))
+                )
+        return starts[index]
 
 
 @dataclass
@@ -116,16 +167,32 @@ class SyntheticProvider:
     """Fluid-queue provider: one backlog timestamp, O(1) per submission."""
 
     def __init__(
-        self, spec: SyntheticSpec, rng: Optional[np.random.Generator] = None
+        self,
+        spec: SyntheticSpec,
+        rng: Optional[np.random.Generator] = None,
+        timeline: Optional[OutageTimeline] = None,
     ) -> None:
         self.spec = spec
         self._release = 0.0  # when the current backlog clears
         self._rng = rng
+        self._timeline = timeline
+        self._cursor = 0  # next timeline index, when grouped
         self.failures = 0
-        if spec.mtbf is not None:
+        if timeline is not None:
+            if spec.mtbf is None:
+                raise ValueError("a grouped provider needs an mtbf")
+            if (timeline.mtbf, timeline.mttr) != (spec.mtbf, spec.mttr):
+                raise ValueError(
+                    f"provider {spec.name!r} disagrees with its outage "
+                    f"group's timeline: mtbf/mttr "
+                    f"{spec.mtbf}/{spec.mttr} vs "
+                    f"{timeline.mtbf}/{timeline.mttr}"
+                )
+            self._next_fail: float = timeline.start(0)
+        elif spec.mtbf is not None:
             if rng is None:
                 raise ValueError("a failing provider needs an RNG substream")
-            self._next_fail: float = float(rng.exponential(spec.mtbf))
+            self._next_fail = float(rng.exponential(spec.mtbf))
         else:
             self._next_fail = math.inf
 
@@ -137,10 +204,14 @@ class SyntheticProvider:
                 self._release = t
             self._release += self.spec.mttr
             self.failures += 1
-            # No failures while down: the next draw starts after repair.
-            self._next_fail = t + self.spec.mttr + float(
-                self._rng.exponential(self.spec.mtbf)
-            )
+            if self._timeline is not None:
+                self._cursor += 1
+                self._next_fail = self._timeline.start(self._cursor)
+            else:
+                # No failures while down: the next draw starts after repair.
+                self._next_fail = t + self.spec.mttr + float(
+                    self._rng.exponential(self.spec.mtbf)
+                )
 
     def submit(self, job: Job, now: float) -> SyntheticOutcome:
         """Price one job submitted at ``now``; mutates backlog on accept."""

@@ -155,6 +155,10 @@ class CommercialComputingService:
                     1 for r in self._records.values() if r.interruptions > 0
                 ),
                 "failed_slas": sum(1 for r in self._records.values() if r.failed),
+                "domain_outages": stats.domain_outages,
+                "cascade_propagations": stats.cascade_propagations,
+                "nodes_commissioned": stats.nodes_commissioned,
+                "nodes_decommissioned": stats.nodes_decommissioned,
             }
         return ServiceResult(
             policy=self.policy.name,

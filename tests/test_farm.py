@@ -234,6 +234,33 @@ def test_dead_workers_lease_is_stolen_and_job_completes(tmp_path):
     assert json.loads(farm.result_path(job_id).read_text()) == reference
 
 
+def test_dead_worker_on_correlated_fault_grid_is_stolen_bit_identically(tmp_path):
+    """Fault/lease interaction: a worker SIGKILLed mid-claim on a grid with
+    correlated fault domains leaves an orphaned lease; the survivor steals
+    it and the farmed result is bit-identical to the serial reference —
+    fault-domain RNG substreams do not leak across the steal."""
+    correlated = SMALL.with_values(
+        fault_mtbf=60_000.0, fault_mttr=600.0,
+        fault_domain_size=4, fault_domain_mtbf=25_000.0,
+        fault_cascade_prob=0.5,
+    )
+    reference = grid_to_dict(
+        run_grid(POLICIES, "bid", correlated, "A",
+                 [scenario_by_name(SCENARIO)], RunCache())
+    )
+    farm = Farm(tmp_path)
+    job_id = farm.create_job(
+        plan_from_args(POLICIES, "bid", correlated, "A", scenarios=(SCENARIO,))
+    )
+    dead = WorkerAgent(farm, worker_id="dead", lease_duration=-1.0)
+    assert dead.claim_next() is not None
+    survivor = WorkerAgent(farm, worker_id="survivor")
+    assert survivor.run(drain=True) == 12
+    grid = Coordinator(farm, poll_interval=0.01).drive(job_id, timeout=60.0)
+    assert not grid.degraded and not grid.gaps
+    assert json.loads(farm.result_path(job_id).read_text()) == reference
+
+
 def test_failed_unit_degrades_with_gap_accounting(tmp_path):
     farm = Farm(tmp_path)
     # An impossible event budget fails every attempt; degrade-mode assembly

@@ -78,12 +78,33 @@ def test_config_validation():
         FaultConfig(schedule=((1.0, 0),))  # malformed triple
 
 
+@pytest.mark.filterwarnings("ignore:FaultConfig")
 def test_config_roundtrip_and_with_values():
     config = scripted([(5.0, 1, 30.0)], mttr=120.0)
     assert FaultConfig.from_dict(config.to_dict()) == config
     assert config.with_values(mtbf=7.0).mtbf == 7.0
     with pytest.raises(ValueError):
         FaultConfig.from_dict({"bogus": 1})
+
+
+def test_scripted_model_warns_when_mtbf_mttr_would_be_ignored():
+    with pytest.warns(UserWarning, match="mtbf/mttr are ignored"):
+        scripted([(5.0, 1, 30.0)], mttr=120.0)
+    with pytest.warns(UserWarning, match="mtbf/mttr are ignored"):
+        scripted([(5.0, 1, 30.0)], mtbf=999.0)
+    # Defaults (untouched) stay silent — the common path is not nagged.
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        scripted([(5.0, 1, 30.0)])
+
+
+def test_unknown_field_error_names_the_nearest_valid_field():
+    with pytest.raises(ValueError, match="did you mean 'domain_size'"):
+        FaultConfig.from_dict({"domain_sise": 8})
+    with pytest.raises(ValueError, match="did you mean 'cascade_prob'"):
+        FaultConfig.from_dict({"cascade_probs": 0.5})
 
 
 # -- failure processes ---------------------------------------------------------

@@ -265,6 +265,7 @@ def test_schema_bump_invalidates_pre_fault_cache(tmp_path, monkeypatch):
     assert {old_digest, new_digest} <= store.disk_digests()
 
 
+@pytest.mark.filterwarnings("ignore:FaultConfig")
 def test_fault_config_roundtrips_and_addresses_runs():
     faulty = CONFIG.with_values(
         fault_mtbf=7200.0, fault_recovery="checkpoint",
